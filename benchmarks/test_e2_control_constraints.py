@@ -1,0 +1,58 @@
+"""E2 — §3.4: shifter fault coverage under control-bit constraints.
+
+Paper (their shifter, 2028 faults): excluding "11" leaves 3 faults
+undetected (99.86%), excluding "00" 59 (97.21%), excluding "01" 1829
+(13.4%), excluding "10" 1 (99.95%), allowing only {"00","01"} 5 (99.76%).
+The conclusion — modes "10"/"11" are discardable, "01" is load-bearing —
+must reproduce on our shifter.
+"""
+
+from repro.harness.experiments import REGISTRY, ExperimentResult, scaled
+from repro.harness.reporting import format_table
+from repro.selftest.phase3 import constraint_study, discardable_modes
+
+
+def test_shifter_constraints(benchmark):
+    results = benchmark.pedantic(
+        constraint_study,
+        kwargs=dict(component="shifter",
+                    n_patterns=scaled(1024, 8192, 32768)),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    rows = [
+        ["{" + ",".join(f"{m:02b}" for m in r.allowed_modes) + "}",
+         r.n_faults, r.n_undetected, f"{r.fault_coverage:.2%}"]
+        for r in results
+    ]
+    print(format_table(["allowed modes", "faults", "undetected",
+                        "fault coverage"], rows))
+    modes = discardable_modes(results, loss_budget=10)
+    print("discardable modes:", ", ".join(f"{m:02b}" for m in modes))
+
+    by_modes = {r.allowed_modes: r for r in results}
+    baseline = by_modes[(0, 1, 2, 3)]
+    loss = {
+        excl: by_modes[tuple(m for m in (0, 1, 2, 3) if m != excl)]
+        .n_undetected - baseline.n_undetected
+        for excl in (0, 1, 2, 3)
+    }
+    # Shape: excluding 01 is catastrophic; 10 and 11 are nearly free.
+    assert loss[1] > 20 * max(loss[2], loss[3], 1)
+    assert loss[2] <= 8 and loss[3] <= 8
+    only_00_01 = by_modes[(0, 1)].n_undetected - baseline.n_undetected
+    assert only_00_01 <= 12
+    assert 2 in modes and 3 in modes and 1 not in modes
+
+    REGISTRY.record(ExperimentResult(
+        experiment_id="E2",
+        description="shifter control-bit constraint study",
+        paper_value="excl 10/11: -1/-3 faults; excl 01: -1829 (13.4% FC); "
+                    "only 00+01: -5",
+        measured_value=(
+            f"excl 10/11: -{loss[2]}/-{loss[3]}; excl 01: -{loss[1]} "
+            f"({by_modes[(0, 2, 3)].fault_coverage:.1%} FC); "
+            f"only 00+01: -{only_00_01}"
+        ),
+    ))

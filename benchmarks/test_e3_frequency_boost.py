@@ -1,0 +1,93 @@
+"""E3 — §3.4: execution-frequency boosting shortens the test.
+
+Paper: repeating the shifter/adder instructions inside the loop made
+coverage rise faster — the enhanced program needed only 27,346 vectors to
+beat what the original achieved with 204,000, and reached 98.42% at full
+length.
+
+We grade the original and the boosted programs over equal vector budgets
+and compare (a) the vectors needed to reach a common coverage target and
+(b) the final coverage.
+"""
+
+from repro.faults.coverage import coverage_curve
+from repro.faults.hierarchical import HierarchicalFaultSimulator
+from repro.harness.experiments import REGISTRY, ExperimentResult, scaled
+from repro.harness.reporting import format_table
+from repro.selftest.phase3 import boost_frequency, slow_components
+from repro.selftest.vectors import expand_program
+
+
+def vectors_to_reach(first_detect, n_vectors, target):
+    curve = coverage_curve(first_detect, n_vectors,
+                           step=max(1, n_vectors // 200))
+    for x, y in curve:
+        if y >= target:
+            return x
+    return None
+
+
+def test_frequency_boost(benchmark, selftest):
+    budget = scaled(600, 8000, 204000)
+
+    def run_both():
+        base_iters = max(1, budget // len(selftest.program.loop_lines))
+        base_words = expand_program(selftest.program, base_iters)
+        base = HierarchicalFaultSimulator().run(base_words)
+
+        # The paper's selection rule: fault simulation identifies the
+        # slow-to-cover components (it found the shifter and adder).
+        targets = slow_components(base, max_components=2)
+        boosted_program = boost_frequency(
+            selftest.program, components=targets, repeats=3
+        )
+        boosted_iters = max(1, budget // len(boosted_program.loop_lines))
+        boosted_words = expand_program(boosted_program, boosted_iters)
+        boosted = HierarchicalFaultSimulator().run(boosted_words)
+        return base, base_words, boosted, boosted_words, targets
+
+    base, base_words, boosted, boosted_words, targets = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    print(f"\nfault-simulation-selected boost targets: {targets}")
+    base_report = base.coverage_report("original")
+    boosted_report = boosted.coverage_report("boosted")
+
+    # Vectors each program needs to reach a common early target.
+    target = min(base_report.fault_coverage,
+                 boosted_report.fault_coverage) * 0.98
+    base_need = vectors_to_reach(base.first_detect, len(base_words), target)
+    boosted_need = vectors_to_reach(boosted.first_detect,
+                                    len(boosted_words), target)
+
+    print()
+    print(format_table(
+        ["program", "vectors", "final FC", f"vectors to {target:.1%}"],
+        [["original", len(base_words),
+          f"{base_report.fault_coverage:.2%}", base_need],
+         ["boosted", len(boosted_words),
+          f"{boosted_report.fault_coverage:.2%}", boosted_need]],
+    ))
+    shifter_base = base_report.by_component["shifter"]
+    shifter_boost = boosted_report.by_component["shifter"]
+    print(f"shifter coverage: original {shifter_base[0]}/{shifter_base[1]}"
+          f" vs boosted {shifter_boost[0]}/{shifter_boost[1]}")
+
+    # Shape: the boosted program's coverage is at least on par and it
+    # reaches the common target with fewer vectors (paper: 27,346 vs
+    # 204,000 — a large factor; we assert the direction and a margin).
+    assert boosted_report.fault_coverage >= base_report.fault_coverage - 0.01
+    assert base_need is not None and boosted_need is not None
+    assert boosted_need <= base_need * 1.05
+
+    REGISTRY.record(ExperimentResult(
+        experiment_id="E3",
+        description="execution-frequency boosting",
+        paper_value="27,346 vectors beat the original's 204,000; "
+                    "98.42% final FC",
+        measured_value=(
+            f"boosted reaches {target:.1%} in {boosted_need} vs "
+            f"{base_need} vectors; final {boosted_report.fault_coverage:.2%}"
+            f" vs {base_report.fault_coverage:.2%}"
+        ),
+    ))

@@ -1,0 +1,60 @@
+"""E6 — §3.5: plain pseudorandom BIST vs the structured self-test.
+
+Paper: the BIST baseline feeds all 131,071 states of a 17-bit LFSR as raw
+instruction words — "the LFSR does not take into account the core's
+present state or the core's behavior".  The structured self-test program
+achieves far higher coverage at far fewer vectors.
+"""
+
+from repro.baselines.pseudorandom import pseudorandom_bist_words
+from repro.faults.coverage import coverage_curve
+from repro.faults.hierarchical import HierarchicalFaultSimulator
+from repro.harness.experiments import REGISTRY, ExperimentResult, scaled
+from repro.harness.reporting import format_curve, format_table
+from repro.selftest.vectors import expand_program
+
+
+def test_bist_vs_selftest(benchmark, selftest):
+    n_vectors = scaled(400, 4000, 131071)
+
+    def run_both():
+        bist_words = pseudorandom_bist_words(n_vectors)
+        bist = HierarchicalFaultSimulator().run(bist_words)
+        iterations = max(1, n_vectors // len(selftest.program.loop_lines))
+        self_words = expand_program(selftest.program, iterations)
+        self_result = HierarchicalFaultSimulator().run(self_words)
+        return bist, bist_words, self_result, self_words
+
+    bist, bist_words, self_result, self_words = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    bist_report = bist.coverage_report("pseudorandom BIST")
+    self_report = self_result.coverage_report("self test")
+
+    print()
+    print(format_table(
+        ["scheme", "vectors", "fault coverage"],
+        [["pseudorandom BIST", len(bist_words),
+          f"{bist_report.fault_coverage:.2%}"],
+         ["structured self-test", len(self_words),
+          f"{self_report.fault_coverage:.2%}"]],
+    ))
+    step = max(1, len(bist_words) // 8)
+    print("\nBIST coverage curve:")
+    print(format_curve(coverage_curve(bist.first_detect, len(bist_words),
+                                      step)))
+
+    # Shape: the structured program dominates at equal-or-fewer vectors.
+    assert self_report.fault_coverage > bist_report.fault_coverage + 0.15
+    assert bist_report.fault_coverage < 0.85
+
+    REGISTRY.record(ExperimentResult(
+        experiment_id="E6",
+        description="pseudorandom BIST baseline",
+        paper_value="17-bit LFSR, all 131,071 vectors; clearly below the "
+                    "self-test scheme",
+        measured_value=(
+            f"BIST {bist_report.fault_coverage:.2%} vs self-test "
+            f"{self_report.fault_coverage:.2%} at ~{n_vectors} vectors"
+        ),
+    ))

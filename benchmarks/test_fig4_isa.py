@@ -1,0 +1,69 @@
+"""F4 — Figure 4: the 17-bit instruction formats and opcode map."""
+
+from repro._util import bits
+from repro.dsp.isa import (
+    Instruction,
+    LD_RND,
+    Opcode,
+    PAPER_MNEMONICS,
+    UNUSED_OPCODES,
+    decode,
+    encode,
+)
+from repro.harness.experiments import REGISTRY, ExperimentResult
+from repro.harness.reporting import format_table
+
+
+def _roundtrip_all():
+    count = 0
+    for op in Opcode:
+        for rega in range(0, 16, 5):
+            for regb in range(0, 16, 5):
+                for dest in range(0, 16, 5):
+                    if op is Opcode.LDI:
+                        instr = Instruction(op, imm=(rega * 16 + regb) & 0xFF,
+                                            dest=dest)
+                    else:
+                        instr = Instruction(op, rega=rega, regb=regb,
+                                            dest=dest)
+                    assert decode(encode(instr)) == instr
+                    count += 1
+    return count
+
+
+def test_instruction_formats(benchmark):
+    count = benchmark.pedantic(_roundtrip_all, rounds=1, iterations=1)
+
+    print()
+    rows = []
+    for op in sorted(Opcode, key=int):
+        word = encode(Instruction(op) if op is not Opcode.LDI
+                      else Instruction(op, imm=0))
+        rows.append([f"{int(op):05b}", op.name,
+                     f"{bits(word, 16, 12):05b}...."])
+    print(format_table(["opcode", "mnemonic", "encoding"], rows))
+    print(f"unused opcodes (ld-rnd trap space): "
+          f"{[format(u, '05b') for u in UNUSED_OPCODES]}")
+    print(f"trapped ld-rnd opcode: {LD_RND:05b}")
+
+    # Figure 4's structural facts.
+    word = encode(Instruction(Opcode.MPYA, rega=3, regb=5, dest=9))
+    assert bits(word, 11, 8) == 3 and bits(word, 7, 4) == 5 \
+        and bits(word, 3, 0) == 9                       # format 1
+    word = encode(Instruction(Opcode.LDI, imm=0xAB, dest=2))
+    assert bits(word, 11, 4) == 0xAB                    # format 2
+    assert int(Opcode.MOV) == 0b00010                   # format 4's opcode
+    assert len(UNUSED_OPCODES) >= 4
+    # Every mnemonic the paper uses maps to an opcode.
+    assert set(PAPER_MNEMONICS) >= {
+        "load", "mpy", "mpyt", "Mac+", "Mac-", "Mact+", "Mact-", "shift",
+        "Mpyshift", "Mpyshiftmac", "Out", "Outr",
+    }
+
+    REGISTRY.record(ExperimentResult(
+        experiment_id="F4",
+        description="Fig. 4: 17-bit instruction formats",
+        paper_value="4 formats, 5-bit opcode, 16 registers",
+        measured_value=f"all 4 formats round-trip ({count} encodings), "
+                       f"{len(UNUSED_OPCODES)} trap opcodes",
+    ))

@@ -1,0 +1,95 @@
+"""F5/F6 — Figures 5–6: the MAC datapath and the four-stage pipelined core.
+
+Reports the structural inventory (per-component gate/fault counts, the
+first data row of the paper's Table 2) and proves the flat gate-level
+assembly equivalent to the behavioural pipeline on a mixed program.
+"""
+
+import random
+
+from repro.bist.template import RandomLoad, TemplateArchitecture
+from repro.dsp.components import COMPONENTS
+from repro.dsp.core import DspCore
+from repro.dsp.gatelevel import make_gatelevel_core
+from repro.dsp.isa import Instruction, Opcode
+from repro.faults.hierarchical import DspFaultUniverse
+from repro.harness.experiments import REGISTRY, ExperimentResult, scaled
+from repro.harness.reporting import format_table
+from repro.logic.sequential import SequentialSimulator
+
+
+def _equivalence_run(flat, n_iterations):
+    program = [
+        RandomLoad(0), RandomLoad(1),
+        Instruction(Opcode.MPYSHIFTMACB, rega=0, regb=1, dest=2),
+        Instruction(Opcode.OUT, regb=2),
+        Instruction(Opcode.MACTA_SUB, rega=0, regb=1, dest=3),
+        Instruction(Opcode.SHIFTA, rega=1, dest=4),
+        Instruction(Opcode.OUT, regb=4),
+        Instruction(Opcode.OUTA),
+        Instruction(Opcode.OUTB),
+        Instruction(Opcode.MOV, regb=2, dest=5),
+        Instruction(Opcode.OUT, regb=5),
+    ]
+    words = TemplateArchitecture(program).expand(n_iterations)
+    behav = DspCore()
+    gate = SequentialSimulator(flat)
+    for word in words:
+        r = behav.step(word)
+        g = gate.step_bus({"instr": word})
+        assert (r.out_valid, r.port) == (bool(g["out_valid"]), g["out"])
+    return len(words)
+
+
+def test_core_structure_and_equivalence(benchmark):
+    flat = make_gatelevel_core()
+    n_cycles = benchmark.pedantic(
+        _equivalence_run, args=(flat, scaled(3, 12, 40)),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    stats = flat.stats()
+    print(f"flat core: {stats}")
+    from repro.logic.analysis import logic_depth, region_inventory
+    depth = logic_depth(flat)
+    print(f"logic depth: max {depth.max_depth} "
+          f"(mean over sinks {depth.mean_output_depth:.1f})")
+    inventory = region_inventory(flat)
+    print("gates per region:",
+          {k: inventory[k] for k in sorted(inventory)})
+    universe = DspFaultUniverse()
+    counts = universe.counts_by_component()
+    rows = []
+    for spec in COMPONENTS:
+        netlist_gates = (spec.netlist().stats().n_gates
+                         if spec.kind == "comb" else "-")
+        rows.append([spec.name, spec.kind, spec.output_width,
+                     len(spec.modes), netlist_gates,
+                     counts.get(spec.name, 0)])
+    rows.append(["regfile", "storage", 8, 1, "-", counts["regfile"]])
+    print(format_table(
+        ["component", "kind", "width", "modes", "gates", "faults"], rows
+    ))
+    total = len(universe.all_faults())
+    print(f"total core fault universe: {total} collapsed stuck-at faults")
+    print(f"gate-level vs behavioural: {n_cycles} cycles bit-identical")
+
+    assert stats.n_dffs > 250
+    assert counts["multiplier"] > 500       # paper: 2162 (their netlist)
+    assert counts["shifter"] > 300          # paper: 2028
+    assert counts["addsub"] > 100           # paper: 700
+    assert counts["acca"] == counts["accb"] == 74  # paper: 404
+
+    REGISTRY.record(ExperimentResult(
+        experiment_id="F5/F6",
+        description="Figs. 5-6: MAC datapath + 4-stage pipelined core",
+        paper_value="industrial core; per-component faults "
+                    "(mult 2162, shifter 2028, add/sub 700, AccA 404)",
+        measured_value=(
+            f"{stats.n_gates} gates / {stats.n_dffs} DFFs; "
+            f"mult {counts['multiplier']}, shifter {counts['shifter']}, "
+            f"add/sub {counts['addsub']}, AccA {counts['acca']} faults; "
+            f"flat==behavioural over {n_cycles} cycles"
+        ),
+    ))

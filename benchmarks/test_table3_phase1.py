@@ -1,0 +1,43 @@
+"""T3 — Table 3: the instructions chosen at the end of Phase 1."""
+
+from repro.harness.experiments import REGISTRY, ExperimentResult
+from repro.harness.reporting import format_table
+from repro.selftest.phase1 import run_phase1
+
+
+def test_phase1_greedy_cover(benchmark, metrics_table):
+    result = benchmark.pedantic(run_phase1, args=(metrics_table,),
+                                rounds=1, iterations=1)
+
+    print()
+    rows = [["(wrappers)", len(result.wrapper_covered),
+             ", ".join(f"{c[0]}:{c[1]}" for c in result.wrapper_covered)]]
+    for variant, columns in result.selections:
+        rows.append([variant.label, len(columns),
+                     ", ".join(f"{c[0]}:{c[1]}" for c in columns)])
+    print(format_table(["instruction", "#columns", "columns covered"], rows))
+    print("left for Phase 2:",
+          ", ".join(f"{c[0]}:{c[1]}" for c in result.uncovered) or "none")
+
+    # Paper facts: greedy picks the widest-covering instruction first
+    # ("MpyR, covering eleven"), and the accumulator columns plus the
+    # unreachable shifter modes are left for Phase 2.
+    first_variant, first_columns = result.selections[0]
+    assert len(first_columns) >= 5
+    assert len(first_columns) == max(len(c) for _, c in result.selections)
+    assert first_variant.acc_state == "R"  # R-rows dominate, as in Table 3
+    leftovers = set(result.uncovered)
+    assert ("shifter", 2) in leftovers and ("shifter", 3) in leftovers
+    assert ("acca", 0) in leftovers and ("accb", 0) in leftovers
+
+    REGISTRY.record(ExperimentResult(
+        experiment_id="T3",
+        description="Table 3: Phase 1 greedy covering",
+        paper_value="top pick covers 11 columns (MpyR); acc + "
+                    "shifter-10/11 left over",
+        measured_value=(
+            f"top pick {first_variant.label} covers "
+            f"{len(first_columns)} columns; "
+            f"{len(result.uncovered)} columns left for Phase 2"
+        ),
+    ))

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""A DSP workload plus in-field self-test on the same core.
+
+The paper motivates self-test for cores embedded in SoCs that spend their
+life running signal-processing kernels.  This example:
+
+1. runs a real 4-tap FIR filter on the DSP core (MAC instructions over
+   4.4 fixed-point samples) and checks it against a float reference;
+2. runs the self-test program as it would run in the field — between
+   workload bursts — compacting responses into a MISR;
+3. injects a stuck-at fault into the register file and shows that the
+   *workload still looks plausible* while the self-test signature catches
+   the defect (the reason structured self-test exists).
+
+Run:  python examples/fir_filter_selftest.py
+"""
+
+import random
+
+from repro.bist.misr import Misr
+from repro.bist.template import RandomLoad
+from repro.dsp.core import DspCore
+from repro.dsp.fixedpoint import float_to_q44, q44_to_float
+from repro.dsp.isa import Instruction, Opcode, encode
+from repro.selftest.program import TestProgram
+from repro.selftest.vectors import expand_program
+
+TAPS = [0.5, 0.25, -0.125, 0.0625]
+
+
+def fir_program(samples, taps):
+    """Assemble an N-tap FIR over ``samples`` using MACA instructions.
+
+    Registers: R1..R4 hold the taps, R5..R8 the sliding window; each
+    output is AccA after len(taps) MACs, observed with ``outa``.
+    """
+    program = []
+    for i, tap in enumerate(taps):
+        program.append(Instruction(Opcode.LDI, imm=float_to_q44(tap),
+                                   dest=1 + i))
+    window = [0.0] * len(taps)
+    for sample in samples:
+        window = [sample] + window[:-1]
+        for i, value in enumerate(window):
+            program.append(Instruction(Opcode.LDI, imm=float_to_q44(value),
+                                       dest=5 + i))
+        # acc <- x[0]*h[0]; acc += x[i]*h[i]
+        program.append(Instruction(Opcode.MPYA, rega=5, regb=1, dest=12))
+        for i in range(1, len(taps)):
+            program.append(Instruction(Opcode.MACA_ADD, rega=5 + i,
+                                       regb=1 + i, dest=12))
+        program.append(Instruction(Opcode.OUTA))
+    return program
+
+
+def run_fir(core, samples):
+    program = fir_program(samples, TAPS)
+    words = [encode(i) for i in program]
+    words += [encode(Instruction(Opcode.NOP))] * 4
+    outputs = []
+    for word in words:
+        result = core.step(word)
+        if result.out_valid:
+            outputs.append(q44_to_float(result.out_value))
+    return outputs
+
+
+def reference_fir(samples, taps):
+    window = [0.0] * len(taps)
+    outputs = []
+    for sample in samples:
+        window = [sample] + window[:-1]
+        outputs.append(sum(x * h for x, h in zip(window, taps)))
+    return outputs
+
+
+def selftest_signature(core):
+    """A compact in-field self-test burst on the given core."""
+    program = TestProgram()
+    program.add(RandomLoad(0))
+    program.add(RandomLoad(1))
+    program.add(Instruction(Opcode.MPYA, rega=0, regb=1, dest=2))
+    program.add(Instruction(Opcode.MACB_ADD, rega=0, regb=1, dest=3))
+    program.add(Instruction(Opcode.NOP))
+    program.add(Instruction(Opcode.NOP))
+    program.add(Instruction(Opcode.OUT, regb=2))
+    program.add(Instruction(Opcode.OUT, regb=3))
+    program.add(Instruction(Opcode.OUTA))
+    program.add(Instruction(Opcode.OUTB))
+    words = expand_program(program, 40)
+    misr = Misr(8)
+    nop = encode(Instruction(Opcode.NOP))
+    for word in list(words) + [nop] * 4:
+        misr.absorb(core.step(word).port)
+    return misr.signature
+
+
+def main() -> None:
+    rng = random.Random(7)
+    samples = [rng.uniform(-2, 2) for _ in range(12)]
+
+    print("4-tap FIR on the DSP core (4.4 fixed point):")
+    got = run_fir(DspCore(), samples)
+    want = reference_fir(samples, TAPS)
+    for g, w in zip(got, want):
+        print(f"  core {g:+8.4f}   reference {w:+8.4f}   "
+              f"err {abs(g - w):.4f}")
+    worst = max(abs(g - w) for g, w in zip(got, want))
+    print(f"worst error {worst:.4f} (quantisation bound ~{8/16:.3f})")
+
+    print("\nself-test burst on a fault-free core:")
+    golden = selftest_signature(DspCore())
+    print(f"  golden MISR signature: 0x{golden:02x}")
+
+    # A stuck bit in R6 (one of the FIR window registers).
+    stuck = {("reg", 6): (0xFF & ~0x04, 0x00)}
+    faulty = DspCore(stuck_bits=stuck)
+    fir_out = run_fir(faulty, samples)
+    worst_faulty = max(abs(g - w) for g, w in zip(fir_out, want))
+    print("\nsame flow with R6 bit2 stuck at 0:")
+    print(f"  FIR worst error {worst_faulty:.4f} "
+          "(may pass for quantisation noise!)")
+    signature = selftest_signature(DspCore(stuck_bits=stuck))
+    print(f"  self-test signature: 0x{signature:02x} "
+          + ("(MISMATCH -> defect caught)" if signature != golden
+             else "(alias)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of *Designing Self Test Programs for Embedded DSP
+Cores* (Rizk, Papachristou, Wolff; DATE 2004).
+
+The package builds, from scratch, every system the paper uses:
+
+* a gate-level netlist substrate with pattern-parallel simulation
+  (:mod:`repro.logic`) and a structural RTL library (:mod:`repro.rtl`);
+* stuck-at fault modelling and fault simulation, including the
+  hierarchical core-level fault simulator (:mod:`repro.faults`);
+* the four-stage pipelined DSP core — behavioural and flat gate level —
+  with its 17-bit instruction set (:mod:`repro.dsp`);
+* LFSR/MISR BIST hardware and the test-program template architecture
+  (:mod:`repro.bist`);
+* instruction-level controllability/observability metrics
+  (:mod:`repro.metrics`);
+* the self-test program generation flow, Phases 1–3
+  (:mod:`repro.selftest`);
+* PODEM ATPG and time-frame expansion (:mod:`repro.atpg`);
+* the paper's comparison baselines (:mod:`repro.baselines`).
+
+Quickstart::
+
+    from repro.metrics.table import build_metrics_table
+    from repro.selftest.generator import SelfTestGenerator
+    from repro.selftest.vectors import expand_program
+    from repro.faults.hierarchical import HierarchicalFaultSimulator
+
+    table = build_metrics_table()
+    selftest = SelfTestGenerator(table=table).generate()
+    print(selftest.program.render())            # the Fig. 7-style listing
+    words = expand_program(selftest.program, n_iterations=200)
+    result = HierarchicalFaultSimulator().run(words)
+    print(result.coverage_report("self test"))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "logic",
+    "rtl",
+    "faults",
+    "dsp",
+    "bist",
+    "metrics",
+    "selftest",
+    "atpg",
+    "baselines",
+    "harness",
+]

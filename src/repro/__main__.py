@@ -1,0 +1,205 @@
+"""Command-line driver: ``python -m repro <command>``.
+
+Commands cover the everyday flows:
+
+* ``table1`` — print the simple-datapath metrics table (paper Table 1);
+* ``metrics`` — measure and print the DSP-core metrics table (Table 2);
+* ``generate`` — run Phases 1–2 and print the Fig. 7-style program,
+  optionally writing the test-vector file and golden MISR signature;
+* ``grade`` — generate and fault-grade the self-test program;
+* ``constraints`` — the Phase 3 control-bit constraint study (§3.4);
+* ``export-verilog`` — write the flat gate-level core as Verilog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args) -> int:
+    from repro.metrics.simple_metrics import build_table1, render_table1
+    table = build_table1(n_samples=args.samples, n_good=args.good)
+    print(render_table1(table))
+    return 0
+
+
+def _measure_or_load(args):
+    """The metrics table — loaded from ``--table`` when given."""
+    if getattr(args, "table", None):
+        from repro.metrics.io import load_table
+        return load_table(args.table)
+    from repro.metrics.table import build_metrics_table
+    table = build_metrics_table(
+        n_controllability_samples=args.samples,
+        n_observability_good=args.good,
+    )
+    if getattr(args, "save_table", None):
+        from repro.metrics.io import save_table
+        save_table(table, args.save_table)
+        print(f"saved metrics table to {args.save_table}")
+    return table
+
+
+def _cmd_metrics(args) -> int:
+    table = _measure_or_load(args)
+    print(table.render(max_columns=args.columns))
+    return 0
+
+
+def _build_selftest(args):
+    from repro.selftest.generator import SelfTestGenerator
+    return SelfTestGenerator(table=_measure_or_load(args)).generate()
+
+
+def _cmd_generate(args) -> int:
+    from repro.selftest.vectors import expand_program, run_with_misr
+    selftest = _build_selftest(args)
+    print(selftest.phase1.summary())
+    print(selftest.phase2.summary())
+    print()
+    print(selftest.program.render())
+    words = expand_program(selftest.program, args.iterations)
+    golden = run_with_misr(words)
+    print(f"\n{golden.n_vectors} vectors over {args.iterations} iterations; "
+          f"golden MISR signature 0x{golden.signature:02x}")
+    if args.vectors:
+        from repro.selftest.export import write_vector_file
+        n = write_vector_file(args.vectors, words)
+        print(f"wrote {n} vector lines to {args.vectors}")
+    return 0
+
+
+def _cmd_grade(args) -> int:
+    from repro.faults.hierarchical import HierarchicalFaultSimulator
+    from repro.selftest.vectors import expand_program
+    selftest = _build_selftest(args)
+    words = expand_program(selftest.program, args.iterations)
+    print(f"grading {len(words)} vectors ...")
+    result = HierarchicalFaultSimulator().run(words)
+    report = result.coverage_report("self test")
+    print(report)
+    print(f"test time at 500 MHz: {report.test_time_seconds() * 1e3:.3f} ms")
+    return 0
+
+
+def _cmd_constraints(args) -> int:
+    from repro.selftest.phase3 import constraint_study, discardable_modes
+    results = constraint_study(args.component, n_patterns=args.patterns)
+    for result in results:
+        print(result.describe())
+    modes = discardable_modes(results)
+    print("discardable modes:", modes if modes else "none")
+    return 0
+
+
+def _cmd_isa(args) -> int:
+    from repro.dsp.isa import render_opcode_table
+    print(render_opcode_table())
+    return 0
+
+
+def _cmd_core_report(args) -> int:
+    from repro.dsp.gatelevel import make_gatelevel_core
+    from repro.logic.analysis import (
+        fanout_histogram,
+        logic_depth,
+        region_inventory,
+    )
+    netlist = make_gatelevel_core()
+    print(netlist.stats())
+    depth = logic_depth(netlist)
+    print(f"logic depth: max {depth.max_depth}, "
+          f"mean over sinks {depth.mean_output_depth:.1f}")
+    print("fanout histogram:", fanout_histogram(netlist))
+    print("gates per component region:")
+    for region, count in sorted(region_inventory(netlist).items()):
+        print(f"  {region:<14}{count}")
+    return 0
+
+
+def _cmd_export_verilog(args) -> int:
+    from repro.dsp.gatelevel import make_gatelevel_core
+    from repro.logic.export import to_verilog
+    netlist = make_gatelevel_core()
+    source = to_verilog(netlist, "dsp_core")
+    with open(args.output, "w") as handle:
+        handle.write(source)
+    print(f"wrote {netlist.stats()} to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Self-test program generation for the embedded DSP "
+                    "core (DATE 2004 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="print the Table 1 metrics")
+    p.add_argument("--samples", type=int, default=400)
+    p.add_argument("--good", type=int, default=30)
+    p.set_defaults(func=_cmd_table1)
+
+    def add_table_options(p_):
+        p_.add_argument("--table", metavar="FILE",
+                        help="load a previously saved metrics table")
+        p_.add_argument("--save-table", metavar="FILE",
+                        help="save the measured metrics table")
+
+    p = sub.add_parser("metrics", help="print the Table 2 metrics")
+    p.add_argument("--samples", type=int, default=150)
+    p.add_argument("--good", type=int, default=8)
+    p.add_argument("--columns", type=int, default=9,
+                   help="columns to print (the table is wide)")
+    add_table_options(p)
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser("generate",
+                       help="generate and print the self-test program")
+    p.add_argument("--samples", type=int, default=100)
+    p.add_argument("--good", type=int, default=6)
+    p.add_argument("--iterations", type=int, default=100)
+    p.add_argument("--vectors", metavar="FILE",
+                   help="also write the expanded vector file")
+    add_table_options(p)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("grade",
+                       help="generate and fault-grade the self-test")
+    p.add_argument("--samples", type=int, default=100)
+    p.add_argument("--good", type=int, default=6)
+    p.add_argument("--iterations", type=int, default=100)
+    add_table_options(p)
+    p.set_defaults(func=_cmd_grade)
+
+    p = sub.add_parser("constraints",
+                       help="control-bit constraint study (Phase 3)")
+    p.add_argument("--component", default="shifter")
+    p.add_argument("--patterns", type=int, default=4096)
+    p.set_defaults(func=_cmd_constraints)
+
+    p = sub.add_parser("isa", help="print the opcode reference table")
+    p.set_defaults(func=_cmd_isa)
+
+    p = sub.add_parser("core-report",
+                       help="structural report of the flat core")
+    p.set_defaults(func=_cmd_core_report)
+
+    p = sub.add_parser("export-verilog",
+                       help="write the flat core as structural Verilog")
+    p.add_argument("--output", default="dsp_core.v")
+    p.set_defaults(func=_cmd_export_verilog)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Time-frame expansion of sequential netlists.
+
+Unrolls a sequential netlist into ``n_frames`` combinational copies: frame
+*i*'s flip-flop outputs are driven by frame *i−1*'s flip-flop inputs, and
+frame 0's start from the declared reset values.  The result is the
+combinational model sequential ATPG runs PODEM on — a physical fault maps
+to one fault site per frame (see :meth:`fault_sites`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.faults.model import Fault
+from repro.logic.gates import GateType
+from repro.logic.netlist import Netlist
+
+
+@dataclass
+class UnrolledNetlist:
+    """A combinational expansion of a sequential netlist."""
+
+    netlist: Netlist
+    n_frames: int
+    #: (frame, original net id) -> unrolled net id
+    net_map: Dict[Tuple[int, int], int]
+    original: Netlist
+
+    def fault_sites(self, fault: Fault) -> List[Fault]:
+        """The per-frame replicas of a physical stuck-at fault."""
+        return [
+            Fault(self.net_map[(frame, fault.net)], fault.stuck_at)
+            for frame in range(self.n_frames)
+        ]
+
+    def frame_bus(self, frame: int, name: str) -> List[int]:
+        """An original bus's nets within one frame."""
+        return [self.net_map[(frame, n)] for n in self.original.buses[name]]
+
+
+def unroll(netlist: Netlist, n_frames: int) -> UnrolledNetlist:
+    """Expand ``netlist`` over ``n_frames`` clock cycles."""
+    if n_frames < 1:
+        raise ValueError("need at least one frame")
+    out = Netlist(f"{netlist.name}_x{n_frames}")
+    net_map: Dict[Tuple[int, int], int] = {}
+
+    def frame_net(frame: int, net: int) -> int:
+        key = (frame, net)
+        if key not in net_map:
+            name = f"f{frame}/{netlist.net_names[net]}"
+            net_map[key] = out.add_net(name)
+        return net_map[key]
+
+    prev_dff_d: Dict[int, int] = {}
+    for frame in range(n_frames):
+        for net in netlist.inputs:
+            out.add_input(frame_net(frame, net))
+        for dff in netlist.dffs:
+            q = frame_net(frame, dff.q)
+            if frame == 0:
+                kind = GateType.CONST1 if dff.init else GateType.CONST0
+                out.add_gate(kind, q, ())
+            else:
+                out.add_gate(GateType.BUF, q, (prev_dff_d[dff.q],))
+        for gate in netlist.gates:
+            out.add_gate(
+                gate.kind,
+                frame_net(frame, gate.output),
+                tuple(frame_net(frame, i) for i in gate.inputs),
+            )
+        for po in netlist.outputs:
+            out.add_output(frame_net(frame, po))
+        prev_dff_d = {
+            dff.q: frame_net(frame, dff.d) for dff in netlist.dffs
+        }
+
+    for name, nets in netlist.buses.items():
+        for frame in range(n_frames):
+            mapped = [net_map.get((frame, n)) for n in nets]
+            if all(m is not None for m in mapped):
+                out.add_bus(f"f{frame}/{name}", mapped)
+    out.validate()
+    return UnrolledNetlist(netlist=out, n_frames=n_frames,
+                           net_map=net_map, original=netlist)

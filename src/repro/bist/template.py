@@ -1,0 +1,121 @@
+"""The test-program template architecture (paper Fig. 2).
+
+"Instructions from memory are treated as templates and various instruction
+fields are instantiated with pseudorandom data during testing."  The
+architecture sits between test memory and the core:
+
+* **ld-rnd trapping** — the unused opcode :data:`~repro.dsp.isa.LD_RND` is
+  trapped; its immediate field is filled from LFSR1 and the opcode is
+  rewritten into a normal ``LDI``.
+* **register masking** — LFSR2 provides a 4-bit mask XORed into every
+  register field, changed once per loop iteration, so successive passes of
+  the same program exercise different register groups while keeping the
+  program's internal dataflow consistent.
+
+The expansion below is exactly what the paper's Perl script did: unroll the
+looped template program into the concrete 17-bit instruction stream the
+core executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro._util import bits, set_field
+from repro.bist.lfsr import Lfsr
+from repro.dsp.isa import Instruction, LD_RND, Opcode, encode
+
+
+@dataclass(frozen=True)
+class RandomLoad:
+    """A template "ld rnd, Rd" instruction (trapped unused opcode)."""
+
+    dest: int
+
+    def encode_template(self) -> int:
+        """The raw template word stored in test memory."""
+        return set_field(set_field(0, 16, 12, LD_RND), 3, 0, self.dest)
+
+
+TemplateItem = Union[Instruction, RandomLoad]
+
+#: Opcodes whose bits[11:4] are data, not register fields — only the dest
+#: field is masked for these.
+_IMMEDIATE_OPS = {Opcode.LDI}
+#: Opcodes with no register fields at all.
+_NO_REG_OPS = {Opcode.NOP, Opcode.OUTA, Opcode.OUTB}
+
+
+class TemplateArchitecture:
+    """Expands a template program into the core's instruction stream."""
+
+    def __init__(
+        self,
+        program: Sequence[TemplateItem],
+        lfsr1: Optional[Lfsr] = None,
+        lfsr2: Optional[Lfsr] = None,
+        mask_registers: bool = True,
+    ):
+        if not program:
+            raise ValueError("template program is empty")
+        self.program = list(program)
+        self.lfsr1 = lfsr1 if lfsr1 is not None else Lfsr(16, seed=0xACE1)
+        self.lfsr2 = lfsr2 if lfsr2 is not None else Lfsr(8, seed=0x5A)
+        self.mask_registers = mask_registers
+
+    # ------------------------------------------------------------------
+    def _mask_fields(self, word: int, opcode: Opcode, reg_mask: int) -> int:
+        """XOR ``reg_mask`` into the word's register fields."""
+        if not self.mask_registers or opcode in _NO_REG_OPS:
+            return word
+        word = set_field(word, 3, 0, bits(word, 3, 0) ^ reg_mask)
+        if opcode in _IMMEDIATE_OPS:
+            return word
+        if opcode is Opcode.OUT or opcode is Opcode.MOV:
+            return set_field(word, 7, 4, bits(word, 7, 4) ^ reg_mask)
+        word = set_field(word, 11, 8, bits(word, 11, 8) ^ reg_mask)
+        return set_field(word, 7, 4, bits(word, 7, 4) ^ reg_mask)
+
+    def instruction_words(self, n_iterations: int) -> Iterator[int]:
+        """Yield the instantiated 17-bit instruction words.
+
+        Produces ``n_iterations × len(program)`` words.  The register mask
+        advances once per iteration; LFSR1 advances at every trapped load.
+        """
+        for _ in range(n_iterations):
+            reg_mask = self.lfsr2.next_word(4) if self.mask_registers else 0
+            for item in self.program:
+                if isinstance(item, RandomLoad):
+                    data = self.lfsr1.next_word(8)
+                    instr = Instruction(
+                        Opcode.LDI, imm=data, dest=item.dest
+                    )
+                    word = encode(instr)
+                    opcode = Opcode.LDI
+                else:
+                    word = encode(item)
+                    opcode = item.opcode
+                yield self._mask_fields(word, opcode, reg_mask)
+
+    def expand(self, n_iterations: int) -> List[int]:
+        """Materialise :meth:`instruction_words` into a list."""
+        return list(self.instruction_words(n_iterations))
+
+    def template_words(self) -> List[int]:
+        """The raw template words as stored in test memory (Fig. 7 left)."""
+        words = []
+        for item in self.program:
+            if isinstance(item, RandomLoad):
+                words.append(item.encode_template())
+            else:
+                words.append(encode(item))
+        return words
+
+    @property
+    def program_length(self) -> int:
+        return len(self.program)
+
+    def n_vectors(self, n_iterations: int) -> int:
+        """Total test vectors generated: iterations × program length."""
+        return n_iterations * len(self.program)

@@ -1,0 +1,200 @@
+"""Signal-processing kernels for the DSP core.
+
+The paper's motivation is cores that spend their lives running kernels
+like these.  Each kernel is an assembler-level routine over the 4.4
+fixed-point ISA with a float reference model; they serve as realistic
+workloads for the examples, as a source of long instruction streams for
+fault-simulation experiments, and as living documentation of the ISA.
+
+All kernels avoid read-after-write hazards only through the core's own
+forwarding — no NOP padding — so they double as pipeline stress tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.dsp.core import DspCore
+from repro.dsp.fixedpoint import float_to_q44, q44_to_float
+from repro.dsp.isa import Instruction, Opcode, encode
+
+#: Register convention used by the kernels.
+#: R1..R4: coefficients; R5..R8: data window; R12: scratch destination.
+_COEFF_BASE = 1
+_DATA_BASE = 5
+_SCRATCH = 12
+
+
+def _run_collect(program: Sequence[Instruction]) -> List[float]:
+    """Execute and collect the output-port stream as floats."""
+    core = DspCore()
+    outputs: List[float] = []
+    words = [encode(i) for i in program]
+    words += [encode(Instruction(Opcode.NOP))] * 4
+    for word in words:
+        result = core.step(word)
+        if result.out_valid:
+            outputs.append(q44_to_float(result.out_value))
+    return outputs
+
+
+# ----------------------------------------------------------------------
+# FIR filter
+# ----------------------------------------------------------------------
+def fir_program(samples: Sequence[float],
+                taps: Sequence[float]) -> List[Instruction]:
+    """N-tap FIR: one MAC chain per output sample, observed with outa."""
+    if len(taps) > 4:
+        raise ValueError("register convention supports up to 4 taps")
+    program: List[Instruction] = []
+    for i, tap in enumerate(taps):
+        program.append(Instruction(Opcode.LDI, imm=float_to_q44(tap),
+                                   dest=_COEFF_BASE + i))
+    window = [0.0] * len(taps)
+    for sample in samples:
+        window = [sample] + window[:-1]
+        for i, value in enumerate(window):
+            program.append(Instruction(Opcode.LDI,
+                                       imm=float_to_q44(value),
+                                       dest=_DATA_BASE + i))
+        program.append(Instruction(Opcode.MPYA, rega=_DATA_BASE,
+                                   regb=_COEFF_BASE, dest=_SCRATCH))
+        for i in range(1, len(taps)):
+            program.append(Instruction(Opcode.MACA_ADD,
+                                       rega=_DATA_BASE + i,
+                                       regb=_COEFF_BASE + i,
+                                       dest=_SCRATCH))
+        program.append(Instruction(Opcode.OUTA))
+    return program
+
+
+def fir(samples: Sequence[float], taps: Sequence[float]) -> List[float]:
+    """Run the FIR on the core; returns the 4.4-quantised outputs."""
+    return _run_collect(fir_program(samples, taps))
+
+
+def fir_reference(samples: Sequence[float],
+                  taps: Sequence[float]) -> List[float]:
+    """Float model of :func:`fir` (no quantisation, no saturation)."""
+    window = [0.0] * len(taps)
+    outputs = []
+    for sample in samples:
+        window = [sample] + window[:-1]
+        outputs.append(sum(x * h for x, h in zip(window, taps)))
+    return outputs
+
+
+# ----------------------------------------------------------------------
+# Dot product
+# ----------------------------------------------------------------------
+def dot_product_program(xs: Sequence[float],
+                        ys: Sequence[float]) -> List[Instruction]:
+    """Σ x·y accumulated in AccB, observed once at the end with outb."""
+    if len(xs) != len(ys):
+        raise ValueError("vectors must have equal length")
+    program: List[Instruction] = []
+    first = True
+    for x, y in zip(xs, ys):
+        program.append(Instruction(Opcode.LDI, imm=float_to_q44(x),
+                                   dest=_DATA_BASE))
+        program.append(Instruction(Opcode.LDI, imm=float_to_q44(y),
+                                   dest=_DATA_BASE + 1))
+        opcode = Opcode.MPYB if first else Opcode.MACB_ADD
+        program.append(Instruction(opcode, rega=_DATA_BASE,
+                                   regb=_DATA_BASE + 1, dest=_SCRATCH))
+        first = False
+    program.append(Instruction(Opcode.OUTB))
+    return program
+
+
+def dot_product(xs: Sequence[float], ys: Sequence[float]) -> float:
+    outputs = _run_collect(dot_product_program(xs, ys))
+    return outputs[-1]
+
+
+def dot_product_reference(xs: Sequence[float],
+                          ys: Sequence[float]) -> float:
+    return sum(x * y for x, y in zip(xs, ys))
+
+
+# ----------------------------------------------------------------------
+# IIR biquad (direct form I, single section)
+# ----------------------------------------------------------------------
+def biquad(samples: Sequence[float],
+           b_coeffs: Tuple[float, float, float],
+           a_coeffs: Tuple[float, float]) -> List[float]:
+    """y[n] = b0·x[n] + b1·x[n-1] + b2·x[n-2] − a1·y[n-1] − a2·y[n-2].
+
+    Feedback terms are applied with MAC−; outputs are re-quantised to
+    4.4 through the limiter each step (as the hardware does).
+    """
+    b0, b1, b2 = b_coeffs
+    a1, a2 = a_coeffs
+    program: List[Instruction] = []
+    for i, coeff in enumerate((b0, b1, b2, a1, a2)):
+        program.append(Instruction(Opcode.LDI, imm=float_to_q44(coeff),
+                                   dest=_COEFF_BASE + i))
+    x1 = x2 = y1 = y2 = 0.0
+    outputs_expected = []
+    for x in samples:
+        values = (x, x1, x2, y1, y2)
+        for i, value in enumerate(values):
+            program.append(Instruction(Opcode.LDI,
+                                       imm=float_to_q44(value),
+                                       dest=_DATA_BASE + i if i < 3
+                                       else 9 + (i - 3)))
+        program.append(Instruction(Opcode.MPYA, rega=_DATA_BASE,
+                                   regb=_COEFF_BASE, dest=_SCRATCH))
+        program.append(Instruction(Opcode.MACA_ADD, rega=_DATA_BASE + 1,
+                                   regb=_COEFF_BASE + 1, dest=_SCRATCH))
+        program.append(Instruction(Opcode.MACA_ADD, rega=_DATA_BASE + 2,
+                                   regb=_COEFF_BASE + 2, dest=_SCRATCH))
+        program.append(Instruction(Opcode.MACA_SUB, rega=9,
+                                   regb=_COEFF_BASE + 3, dest=_SCRATCH))
+        program.append(Instruction(Opcode.MACA_SUB, rega=10,
+                                   regb=_COEFF_BASE + 4, dest=_SCRATCH))
+        program.append(Instruction(Opcode.OUTA))
+        # Track the architectural (quantised) feedback for the next step.
+        y = _run_collect(program)[-1]
+        outputs_expected.append(y)
+        x2, x1 = x1, x
+        y2, y1 = y1, y
+    return outputs_expected
+
+
+def biquad_reference(samples: Sequence[float],
+                     b_coeffs: Tuple[float, float, float],
+                     a_coeffs: Tuple[float, float]) -> List[float]:
+    b0, b1, b2 = b_coeffs
+    a1, a2 = a_coeffs
+    x1 = x2 = y1 = y2 = 0.0
+    outputs = []
+    for x in samples:
+        y = b0 * x + b1 * x1 + b2 * x2 - a1 * y1 - a2 * y2
+        outputs.append(y)
+        x2, x1 = x1, x
+        y2, y1 = y1, y
+    return outputs
+
+
+# ----------------------------------------------------------------------
+# Block scaler (saturating multiply by a constant)
+# ----------------------------------------------------------------------
+def scale(samples: Sequence[float], gain: float) -> List[float]:
+    """y = saturate(gain · x) — exercises the limiter's clipping."""
+    program: List[Instruction] = []
+    program.append(Instruction(Opcode.LDI, imm=float_to_q44(gain),
+                               dest=_COEFF_BASE))
+    for sample in samples:
+        program.append(Instruction(Opcode.LDI, imm=float_to_q44(sample),
+                                   dest=_DATA_BASE))
+        program.append(Instruction(Opcode.MPYA, rega=_DATA_BASE,
+                                   regb=_COEFF_BASE, dest=_SCRATCH))
+        program.append(Instruction(Opcode.OUTA))
+    return _run_collect(program)
+
+
+def scale_reference(samples: Sequence[float], gain: float) -> List[float]:
+    clip_hi = 127 / 16
+    clip_lo = -128 / 16
+    return [min(clip_hi, max(clip_lo, gain * x)) for x in samples]

@@ -1,0 +1,183 @@
+"""Pattern-parallel single-fault combinational fault simulation.
+
+The good machine is evaluated once per pattern block with every pattern
+packed into integer bits.  Each still-undetected fault is then re-evaluated
+only over its fanout cone (copy-on-write on top of the good values), and a
+fault is detected on every pattern where any primary output differs.
+
+Besides plain detection this module exposes :class:`LocalDetection` — the
+per-pattern *faulty output words* — which is what the hierarchical core
+fault simulator needs to know which erroneous value appears at a component
+boundary on which cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.logic.gates import eval_gate
+from repro.logic.netlist import Gate, Netlist
+from repro.logic.simulator import CombSimulator, pack_patterns, unpack_output
+from repro.faults.model import Fault, FaultList, collapse_faults
+
+
+@dataclass
+class LocalDetection:
+    """Result of fault-simulating one fault over one pattern block.
+
+    ``detected_mask`` packs, per pattern bit, whether any output differed;
+    ``faulty_words`` maps output bus name → per-pattern faulty words (only
+    for patterns whose bit is set in ``detected_mask``; other entries hold
+    the good value).
+    """
+
+    fault: Fault
+    detected_mask: int
+    faulty_words: Dict[str, List[int]]
+
+
+class CombFaultSimulator:
+    """Fault-simulates a combinational netlist under stuck-at faults."""
+
+    def __init__(self, netlist: Netlist,
+                 fault_list: Optional[FaultList] = None):
+        if netlist.dffs:
+            raise ValueError(
+                f"netlist {netlist.name!r} is sequential; use SeqFaultSimulator"
+            )
+        self.netlist = netlist
+        self.fault_list = fault_list or collapse_faults(netlist)
+        self.sim = CombSimulator(netlist)
+        from repro.logic.compiled import CompiledEvaluator
+        self._compiled = CompiledEvaluator(netlist)
+        self._cones: Dict[int, List[Gate]] = {}
+        self._cone_outputs: Dict[int, List[int]] = {}
+        output_set = set(netlist.outputs)
+        self._output_set = output_set
+
+    def _cone(self, net: int) -> Tuple[List[Gate], List[int]]:
+        """Fanout cone of ``net`` (gates, observable outputs), cached."""
+        if net not in self._cones:
+            cone = self.netlist.transitive_fanout_gates(net)
+            touched = {net} | {g.output for g in cone}
+            self._cones[net] = cone
+            self._cone_outputs[net] = [
+                o for o in self.netlist.outputs if o in touched
+            ]
+        return self._cones[net], self._cone_outputs[net]
+
+    # ------------------------------------------------------------------
+    def good_values(self, bus_patterns: Mapping[str, Sequence[int]],
+                    n_patterns: int) -> List[int]:
+        """Evaluate the fault-free machine over a packed pattern block."""
+        packed: Dict[int, int] = {}
+        for name, words in bus_patterns.items():
+            for i, net in enumerate(self.netlist.buses[name]):
+                packed[net] = pack_patterns(words, i)
+        return self._compiled.run(packed, n_patterns)
+
+    def simulate_fault(self, fault: Fault, good: List[int],
+                       n_patterns: int) -> Tuple[int, Dict[int, int]]:
+        """Re-evaluate one fault's cone on top of good values.
+
+        Returns ``(detected_mask, faulty_net_values)`` where the dict holds
+        only the nets whose value changed.
+        """
+        width_mask = (1 << n_patterns) - 1
+        stuck_value = width_mask if fault.stuck_at else 0
+        if good[fault.net] == stuck_value:
+            return 0, {}  # fault never excited in this block
+        cone, cone_outputs = self._cone(fault.net)
+        changed: Dict[int, int] = {fault.net: stuck_value}
+        for gate in cone:
+            ins = [changed.get(i, good[i]) for i in gate.inputs]
+            value = eval_gate(gate.kind, ins, width_mask)
+            if value != good[gate.output]:
+                changed[gate.output] = value
+        detected = 0
+        for out in cone_outputs:
+            if out in changed:
+                detected |= changed[out] ^ good[out]
+        if fault.net in self._output_set:
+            detected |= stuck_value ^ good[fault.net]
+        return detected, changed
+
+    # ------------------------------------------------------------------
+    def detect(self, bus_patterns: Mapping[str, Sequence[int]],
+               faults: Optional[Iterable[Fault]] = None) -> Dict[Fault, int]:
+        """Run one block of patterns; returns fault → detected-pattern mask.
+
+        Faults whose mask is zero were not detected by this block.
+        """
+        lengths = {len(w) for w in bus_patterns.values()}
+        if len(lengths) != 1:
+            raise ValueError("all pattern buses must have equal length")
+        n_patterns = lengths.pop()
+        good = self.good_values(bus_patterns, n_patterns)
+        result: Dict[Fault, int] = {}
+        for fault in (faults if faults is not None else self.fault_list.faults):
+            mask, _ = self.simulate_fault(fault, good, n_patterns)
+            result[fault] = mask
+        return result
+
+    def run_with_dropping(
+        self,
+        blocks: Iterable[Mapping[str, Sequence[int]]],
+        faults: Optional[Sequence[Fault]] = None,
+    ) -> Dict[Fault, Optional[int]]:
+        """Simulate pattern blocks with fault dropping.
+
+        Returns fault → index of the first detecting pattern (global index
+        across blocks), or ``None`` if never detected.
+        """
+        remaining = list(faults if faults is not None else self.fault_list.faults)
+        first_detect: Dict[Fault, Optional[int]] = {f: None for f in remaining}
+        offset = 0
+        for block in blocks:
+            if not remaining:
+                break
+            n_patterns = len(next(iter(block.values())))
+            good = self.good_values(block, n_patterns)
+            still: List[Fault] = []
+            for fault in remaining:
+                mask, _ = self.simulate_fault(fault, good, n_patterns)
+                if mask:
+                    first_detect[fault] = offset + (mask & -mask).bit_length() - 1
+                else:
+                    still.append(fault)
+            remaining = still
+            offset += n_patterns
+        return first_detect
+
+    def faulty_output_word(self, fault: Fault,
+                           input_words: Mapping[str, int],
+                           output_bus: str) -> int:
+        """Single-pattern faulty evaluation: one input word per bus in,
+        the faulty value of ``output_bus`` out.  Used by mixed-level
+        propagation (continuous fault injection inside the behavioural
+        core)."""
+        good = self.good_values(
+            {name: [word] for name, word in input_words.items()}, 1
+        )
+        _, changed = self.simulate_fault(fault, good, 1)
+        nets = self.netlist.buses[output_bus]
+        bits = [changed.get(n, good[n]) for n in nets]
+        return unpack_output(bits, 0)
+
+    def local_detection(self, fault: Fault,
+                        bus_patterns: Mapping[str, Sequence[int]],
+                        output_buses: Sequence[str]) -> LocalDetection:
+        """Detection mask plus per-pattern faulty output words for ``fault``."""
+        n_patterns = len(next(iter(bus_patterns.values())))
+        good = self.good_values(bus_patterns, n_patterns)
+        mask, changed = self.simulate_fault(fault, good, n_patterns)
+        faulty_words: Dict[str, List[int]] = {}
+        for name in output_buses:
+            nets = self.netlist.buses[name]
+            bits = [changed.get(n, good[n]) for n in nets]
+            faulty_words[name] = [
+                unpack_output(bits, k) for k in range(n_patterns)
+            ]
+        return LocalDetection(fault=fault, detected_mask=mask,
+                              faulty_words=faulty_words)

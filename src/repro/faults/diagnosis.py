@@ -1,0 +1,170 @@
+"""Fault diagnosis from a failing self-test response.
+
+A production self-test normally compares one MISR signature; when a part
+fails, diagnosis asks *which* defect explains the observed behaviour.
+This module implements classic effect-cause diagnosis over the project's
+fault universe:
+
+1. run the self-test stream fault-free and index every fault by the first
+   cycle at which it is detected (one hierarchical fault-simulation pass —
+   the *fault dictionary*);
+2. given an observed (failing) output stream, shortlist the faults whose
+   first-detection cycle matches the first observed mismatch;
+3. re-simulate each shortlisted fault exactly (storage faults by word-level
+   models, combinational faults by continuous mixed-level injection) and
+   rank candidates by how precisely their predicted response matches the
+   observation.
+
+A stuck-at defect that is in the modelled universe diagnoses to its
+equivalence class with score 1.0; out-of-model defects rank by closeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dsp.core import DspCore
+from repro.faults.hierarchical import (
+    ComponentFault,
+    DspFaultUniverse,
+    HierarchicalFaultSimulator,
+    HierarchicalResult,
+    StorageFault,
+    storage_fault_core,
+)
+
+
+@dataclass(frozen=True)
+class DiagnosisCandidate:
+    """One ranked explanation of the observed failure."""
+
+    fault: object               # ComponentFault | StorageFault
+    score: float                # fraction of cycles predicted exactly
+    first_mismatch: Optional[int]
+
+    def describe(self) -> str:
+        return f"{self.fault.describe()} (match {self.score:.1%})"
+
+
+class FaultDiagnoser:
+    """Effect-cause diagnosis against a fixed self-test vector stream."""
+
+    def __init__(self, words: Sequence[int],
+                 universe: Optional[DspFaultUniverse] = None,
+                 simulator: Optional[HierarchicalFaultSimulator] = None,
+                 cycle_window: int = 6):
+        self.words = list(words)
+        sim = simulator if simulator is not None else \
+            HierarchicalFaultSimulator(universe=universe)
+        self.universe = sim.universe
+        self.dictionary: HierarchicalResult = sim.run(self.words)
+        self.cycle_window = cycle_window
+        self.golden = self._clean_response()
+        self._by_cycle: Dict[int, List[object]] = {}
+        for fault, cycle in self.dictionary.first_detect.items():
+            if cycle is not None:
+                self._by_cycle.setdefault(cycle, []).append(fault)
+
+    # ------------------------------------------------------------------
+    def _clean_response(self) -> List[int]:
+        core = DspCore()
+        return [core.step(word).port for word in self.words]
+
+    def faulty_response(self, fault) -> List[int]:
+        """The exact output stream of the core carrying ``fault``."""
+        if isinstance(fault, StorageFault):
+            core = storage_fault_core(fault)
+            return [core.step(word).port for word in self.words]
+        if not isinstance(fault, ComponentFault):
+            raise TypeError(f"cannot simulate {fault!r}")
+        sim = self.universe.comb_simulators[fault.component]
+        from repro.dsp.components import component_by_name
+        spec = component_by_name(fault.component)
+
+        def faulty_output(inputs: Dict[str, int]) -> int:
+            return sim.faulty_output_word(fault.fault, inputs,
+                                          spec.output_bus)
+
+        core = DspCore()
+        overrides = {fault.component: faulty_output}
+        return [core.step(word, overrides=overrides).port
+                for word in self.words]
+
+    # ------------------------------------------------------------------
+    def candidates_for(self, observed: Sequence[int]) -> List[object]:
+        """Shortlist: faults first detected near the first mismatch."""
+        first = next(
+            (t for t, (got, want) in enumerate(zip(observed, self.golden))
+             if got != want),
+            None,
+        )
+        if first is None:
+            return []
+        shortlist: List[object] = []
+        for cycle in range(max(0, first - self.cycle_window),
+                           first + self.cycle_window + 1):
+            shortlist.extend(self._by_cycle.get(cycle, []))
+        return shortlist
+
+    def diagnose(self, observed: Sequence[int],
+                 top_k: int = 5) -> List[DiagnosisCandidate]:
+        """Rank the faults best explaining ``observed``.
+
+        ``observed`` must have the same length as the diagnosis stream.
+        An empty result means the response is clean or no modelled fault
+        is detected near the first mismatch (an out-of-model defect).
+        """
+        if len(observed) != len(self.words):
+            raise ValueError(
+                f"observed response has {len(observed)} cycles, "
+                f"the diagnosis stream has {len(self.words)}"
+            )
+        ranked: List[DiagnosisCandidate] = []
+        for fault in self.candidates_for(observed):
+            predicted = self.faulty_response(fault)
+            matches = sum(p == o for p, o in zip(predicted, observed))
+            first = next(
+                (t for t, (p, g) in enumerate(zip(predicted, self.golden))
+                 if p != g),
+                None,
+            )
+            ranked.append(DiagnosisCandidate(
+                fault=fault,
+                score=matches / len(observed),
+                first_mismatch=first,
+            ))
+        ranked.sort(key=lambda c: -c.score)
+        return ranked[:top_k]
+
+    # ------------------------------------------------------------------
+    def diagnose_from_signatures(self, observed_signatures,
+                                 top_k: int = 10) -> List[DiagnosisCandidate]:
+        """Diagnosis when only interval signatures were captured.
+
+        Without the raw stream only the *first failing interval* is known
+        (see :mod:`repro.bist.signatures`); candidates are the faults first
+        detected inside that cycle window, ranked by how early they fire.
+        """
+        from repro.bist.signatures import (
+            diagnose_interval,
+            interval_signatures,
+        )
+        golden = interval_signatures(
+            self.golden, observed_signatures.interval,
+            width=observed_signatures.width,
+        )
+        window = diagnose_interval(golden, observed_signatures)
+        if window is None:
+            return []
+        start, end = window
+        candidates: List[DiagnosisCandidate] = []
+        for cycle in range(start, min(end, len(self.words))):
+            for fault in self._by_cycle.get(cycle, []):
+                candidates.append(DiagnosisCandidate(
+                    fault=fault,
+                    score=1.0 - (cycle - start) / max(1, end - start),
+                    first_mismatch=cycle,
+                ))
+        candidates.sort(key=lambda c: -c.score)
+        return candidates[:top_k]

@@ -1,0 +1,19 @@
+"""Experiment harness: result containers and text rendering shared by the
+benchmarks and EXPERIMENTS.md."""
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    ExperimentRegistry,
+    REGISTRY,
+    scaled,
+)
+from repro.harness.reporting import format_table, format_curve
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRegistry",
+    "REGISTRY",
+    "scaled",
+    "format_table",
+    "format_curve",
+]

@@ -1,0 +1,36 @@
+"""Gate-level netlist substrate.
+
+This package provides the minimal structural netlist model that the rest of
+the library is built on:
+
+* :mod:`repro.logic.gates` — primitive gate types and their pattern-parallel
+  evaluation semantics (many test patterns packed into one Python integer).
+* :mod:`repro.logic.netlist` — the :class:`~repro.logic.netlist.Netlist`
+  container (nets, gates, flip-flops, buses) with levelisation and
+  validation.
+* :mod:`repro.logic.builder` — :class:`~repro.logic.builder.NetlistBuilder`,
+  a convenience layer for constructing netlists structurally.
+* :mod:`repro.logic.simulator` — combinational pattern-parallel simulation
+  with support for forced nets (the hook used by stuck-at fault injection).
+* :mod:`repro.logic.sequential` — cycle-based sequential simulation over the
+  netlist's D flip-flops.
+"""
+
+from repro.logic.gates import GateType
+from repro.logic.netlist import Gate, Dff, Netlist, NetlistStats
+from repro.logic.builder import NetlistBuilder
+from repro.logic.simulator import CombSimulator, pack_patterns, unpack_output
+from repro.logic.sequential import SequentialSimulator
+
+__all__ = [
+    "GateType",
+    "Gate",
+    "Dff",
+    "Netlist",
+    "NetlistStats",
+    "NetlistBuilder",
+    "CombSimulator",
+    "SequentialSimulator",
+    "pack_patterns",
+    "unpack_output",
+]

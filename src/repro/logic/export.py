@@ -1,0 +1,112 @@
+"""Structural Verilog export.
+
+The paper's flow moves between behavioural VHDL, a synthesised gate-level
+netlist, and testbenches.  This module provides the equivalent escape
+hatch: any :class:`~repro.logic.netlist.Netlist` can be written as a
+self-contained structural Verilog module (primitive-gate instances plus
+positive-edge flip-flops with synchronous reset), suitable for inspection
+or for feeding an external tool.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.logic.gates import GateType
+from repro.logic.netlist import Netlist
+
+_VERILOG_OP = {
+    GateType.AND: ("&", False),
+    GateType.OR: ("|", False),
+    GateType.NAND: ("&", True),
+    GateType.NOR: ("|", True),
+    GateType.XOR: ("^", False),
+    GateType.XNOR: ("^", True),
+}
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _sanitise(name: str) -> str:
+    """Make a net name a legal Verilog identifier (escaped if needed)."""
+    candidate = name.replace("[", "_").replace("]", "").replace("/", "_")
+    if _IDENT.match(candidate):
+        return candidate
+    return "\\" + name + " "
+
+
+def to_verilog(netlist: Netlist, module_name: str = None) -> str:
+    """Render ``netlist`` as structural Verilog source.
+
+    Nets that belong to a declared bus are named ``<bus>_<index>`` so
+    ports keep their architectural names even when the underlying nets
+    were anonymous.
+    """
+    module = module_name or _sanitise(netlist.name)
+    preferred: Dict[int, str] = {}
+    for bus_name, nets in netlist.buses.items():
+        for i, net in enumerate(nets):
+            preferred.setdefault(
+                net,
+                bus_name if len(nets) == 1 else f"{bus_name}[{i}]",
+            )
+    names: Dict[int, str] = {}
+    used = set()
+    for net_id, raw in enumerate(netlist.net_names):
+        name = _sanitise(preferred.get(net_id, raw))
+        while name in used:
+            name += "_"
+        names[net_id] = name
+        used.add(name)
+
+    inputs = [names[n] for n in netlist.inputs]
+    outputs = [names[n] for n in netlist.outputs]
+    lines: List[str] = []
+    ports = ["clk", "rst"] + inputs + outputs
+    lines.append(f"module {module} (")
+    lines.append("  " + ",\n  ".join(ports))
+    lines.append(");")
+    lines.append("  input clk, rst;")
+    for name in inputs:
+        lines.append(f"  input {name};")
+    for name in outputs:
+        lines.append(f"  output {name};")
+    declared = set(netlist.inputs) | set(netlist.outputs)
+    for gate in netlist.gates:
+        if gate.output not in declared:
+            lines.append(f"  wire {names[gate.output]};")
+            declared.add(gate.output)
+    for dff in netlist.dffs:
+        lines.append(f"  reg {names[dff.q]};")
+
+    for gate in netlist.gates:
+        out = names[gate.output]
+        ins = [names[i] for i in gate.inputs]
+        if gate.kind is GateType.CONST0:
+            lines.append(f"  assign {out} = 1'b0;")
+        elif gate.kind is GateType.CONST1:
+            lines.append(f"  assign {out} = 1'b1;")
+        elif gate.kind is GateType.BUF:
+            lines.append(f"  assign {out} = {ins[0]};")
+        elif gate.kind is GateType.NOT:
+            lines.append(f"  assign {out} = ~{ins[0]};")
+        else:
+            op, inverted = _VERILOG_OP[gate.kind]
+            expr = f" {op} ".join(ins)
+            if inverted:
+                expr = f"~({expr})"
+            lines.append(f"  assign {out} = {expr};")
+
+    if netlist.dffs:
+        lines.append("  always @(posedge clk) begin")
+        lines.append("    if (rst) begin")
+        for dff in netlist.dffs:
+            lines.append(f"      {names[dff.q]} <= 1'b{dff.init};")
+        lines.append("    end else begin")
+        for dff in netlist.dffs:
+            lines.append(f"      {names[dff.q]} <= {names[dff.d]};")
+        lines.append("    end")
+        lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,44 @@
+"""Instruction-level testability metrics (paper Section 2).
+
+* :mod:`repro.metrics.entropy` — entropy estimators and the paper's
+  controllability normalisation ``C(X) = H(X)/n``, including the
+  independence composition for multi-port components.
+* :mod:`repro.metrics.controllability` — measures, for every instruction
+  variant (opcode × assumed accumulator state 0/R), how much randomness
+  each component mode receives.
+* :mod:`repro.metrics.observability` — measures, by random error
+  injection at component outputs (the paper's 2×n heuristic), the fraction
+  of erroneous values that reach the core's output port.
+* :mod:`repro.metrics.table` — the metrics table (Tables 1 and 2): rows =
+  instruction variants, columns = component modes, with coverage marks.
+* :mod:`repro.metrics.simple_metrics` — the same machinery for the simple
+  Fig. 1 datapath (Table 1).
+"""
+
+from repro.metrics.entropy import (
+    controllability_from_samples,
+    combine_independent,
+    histogram_entropy,
+    per_bit_entropy,
+)
+from repro.metrics.controllability import (
+    ControllabilityEngine,
+    InstructionVariant,
+    default_variants,
+)
+from repro.metrics.observability import ObservabilityEngine
+from repro.metrics.table import MetricsCell, MetricsTable, build_metrics_table
+
+__all__ = [
+    "histogram_entropy",
+    "per_bit_entropy",
+    "controllability_from_samples",
+    "combine_independent",
+    "InstructionVariant",
+    "default_variants",
+    "ControllabilityEngine",
+    "ObservabilityEngine",
+    "MetricsCell",
+    "MetricsTable",
+    "build_metrics_table",
+]

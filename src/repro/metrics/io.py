@@ -1,0 +1,78 @@
+"""Persistence for metrics tables.
+
+Measuring Table 2 is the expensive step of the flow (thousands of
+behavioural simulations); teams run it once per core revision and reuse
+it.  The JSON schema round-trips rows, columns, cells, thresholds and
+per-component fault counts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.dsp.isa import Opcode
+from repro.metrics.controllability import InstructionVariant
+from repro.metrics.table import MetricsCell, MetricsTable
+
+SCHEMA_VERSION = 1
+
+
+def table_to_json(table: MetricsTable) -> str:
+    """Serialise a metrics table to a JSON string."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "c_theta": table.c_theta,
+        "o_theta": table.o_theta,
+        "rows": [
+            {"opcode": row.opcode.name, "acc_state": row.acc_state}
+            for row in table.rows
+        ],
+        "columns": [list(column) for column in table.columns],
+        "fault_counts": table.fault_counts,
+        "cells": [
+            {
+                "row": label,
+                "column": list(column),
+                "c": cell.c,
+                "o": cell.o,
+            }
+            for (label, column), cell in sorted(table.cells.items())
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def table_from_json(text: str) -> MetricsTable:
+    """Reconstruct a metrics table from :func:`table_to_json` output."""
+    payload = json.loads(text)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported metrics-table schema {payload.get('schema')!r}"
+        )
+    rows = [
+        InstructionVariant(Opcode[row["opcode"]], row["acc_state"])
+        for row in payload["rows"]
+    ]
+    table = MetricsTable(
+        rows=rows,
+        columns=[tuple(column) for column in payload["columns"]],
+        fault_counts=dict(payload["fault_counts"]),
+        c_theta=payload["c_theta"],
+        o_theta=payload["o_theta"],
+    )
+    by_label = {row.label: row for row in rows}
+    for entry in payload["cells"]:
+        row = by_label[entry["row"]]
+        table.set_cell(row, tuple(entry["column"]),
+                       MetricsCell(c=entry["c"], o=entry["o"]))
+    return table
+
+
+def save_table(table: MetricsTable, path: Union[str, Path]) -> None:
+    Path(path).write_text(table_to_json(table))
+
+
+def load_table(path: Union[str, Path]) -> MetricsTable:
+    return table_from_json(Path(path).read_text())

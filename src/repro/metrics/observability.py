@@ -1,0 +1,174 @@
+"""Observability measurement by random error injection.
+
+Implements the paper's procedure: run a fault-free ("good") simulation of
+the instruction inside its wrapper (operand loads before, ``Out dest``
+after), then, for a component with an *n*-bit output, re-run ``2 × n``
+times with a random erroneous value forced onto the component's output at
+the cycle the instruction occupies that component.  The observability is::
+
+    O(X) = δ_core / δ(X)
+
+— the fraction of injections whose effect reaches the core's output port
+within the observation window.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util import mask
+from repro.dsp.components import COMPONENTS
+from repro.dsp.core import DspCore
+from repro.dsp.isa import Instruction, Opcode, encode
+from repro.metrics.controllability import (
+    InstructionVariant,
+    component_cycle,
+    prepare_core,
+)
+
+_NOP_WORD = encode(Instruction(Opcode.NOP))
+
+
+def observation_wrapper(variant: InstructionVariant) -> List[Instruction]:
+    """The "Out" wrapper: propagate the instruction's result to the port.
+
+    Register-writing instructions are followed by three ``out dest``
+    instructions: the first reads the result through the distance-1 bypass,
+    the second through the temp (forwarding) register, and the third from
+    the register file (the path that passes through MacReg/buffer storage
+    and the write-back) — so faults in every forwarding path are
+    observable.  The out family needs nothing (it *is* the propagation).
+    """
+    instr = variant.instruction()
+    from repro.dsp.isa import control_word
+    if control_word(variant.opcode).reg_we:
+        return [Instruction(Opcode.OUT, regb=instr.dest)] * 3
+    return []
+
+
+class ObservabilityEngine:
+    """Estimates O for every (component, mode) column, per variant."""
+
+    def __init__(self, n_good: int = 25, errors_per_bit: int = 2,
+                 window: int = 8, seed: int = 1977):
+        if n_good < 1:
+            raise ValueError("need at least one good simulation")
+        self.n_good = n_good
+        self.errors_per_bit = errors_per_bit
+        self.window = window
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _run_ports(self, core: DspCore, words: Sequence[int],
+                   inject_cycle: Optional[int] = None,
+                   component: Optional[str] = None,
+                   value: Optional[int] = None,
+                   traces: Optional[List[Dict]] = None) -> List[int]:
+        """Run ``words``; returns the output-port stream."""
+        ports: List[int] = []
+        for t, word in enumerate(words):
+            overrides = None
+            if inject_cycle is not None and t == inject_cycle:
+                overrides = {component: value}
+            trace: Optional[Dict] = {} if traces is not None else None
+            ports.append(core.step(word, overrides=overrides,
+                                   trace=trace).port)
+            if traces is not None:
+                traces.append(trace)
+        return ports
+
+    def measure(self, variant: InstructionVariant,
+                extra_wrapper: Sequence[Instruction] = ()) -> Dict[Tuple[str, int], float]:
+        """Observability per (component, mode) column for ``variant``.
+
+        ``extra_wrapper`` appends additional propagation instructions
+        (Phase 2 uses this to test candidate observation sequences, e.g.
+        ``outa`` to expose an accumulator).
+        """
+        rng = random.Random(f"{self.seed}:{variant.label}")
+        observed: Dict[Tuple[str, int], int] = {}
+        injected: Dict[Tuple[str, int], int] = {}
+
+        for _ in range(self.n_good):
+            setup_rng = random.Random(rng.random())
+            core = prepare_core(variant, setup_rng)
+            snapshot = core.state.copy()
+            stuck = dict(core.stuck_bits)
+
+            wrapper = observation_wrapper(variant) + list(extra_wrapper)
+            words = [encode(variant.instruction(setup_rng))]
+            words += [encode(i) for i in wrapper]
+            words += [_NOP_WORD] * max(0, self.window - len(words))
+
+            # Clean run, keeping per-cycle traces and post-cycle state
+            # snapshots (the latter for storage-corruption injection).
+            traces: List[Dict] = []
+            clean_ports: List[int] = []
+            post_states = []
+            for word in words:
+                trace: Dict = {}
+                clean_ports.append(core.step(word, trace=trace).port)
+                traces.append(trace)
+                post_states.append(core.state.copy())
+
+            for spec in COMPONENTS:
+                cycle = component_cycle(spec.name)
+                if cycle >= len(traces):
+                    continue
+                activity = traces[cycle].get(spec.name)
+                if activity is None:
+                    continue
+                key = (spec.name, activity.mode)
+                good_value = activity.output
+                n_bits = spec.output_width
+                for _ in range(self.errors_per_bit * n_bits):
+                    bad = rng.randrange(1 << n_bits)
+                    if bad == good_value:
+                        bad ^= 1 + rng.randrange((1 << n_bits) - 1)
+                        bad &= mask(n_bits)
+                    if spec.kind == "register":
+                        # A storage error: corrupt the stored value after
+                        # the instruction's EX cycle; it is observable only
+                        # if a later instruction reads the element.
+                        forked_state = post_states[cycle].copy()
+                        _set_state_element(forked_state, spec.state_key, bad)
+                        forked = DspCore(state=forked_state,
+                                         stuck_bits=stuck)
+                        ports = clean_ports[:cycle + 1] + self._run_ports(
+                            forked, words[cycle + 1:]
+                        )
+                    else:
+                        forked = DspCore(state=snapshot.copy(),
+                                         stuck_bits=stuck)
+                        ports = self._run_ports(
+                            forked, words, inject_cycle=cycle,
+                            component=spec.name, value=bad,
+                        )
+                    injected[key] = injected.get(key, 0) + 1
+                    if ports != clean_ports:
+                        observed[key] = observed.get(key, 0) + 1
+
+        return {
+            key: observed.get(key, 0) / count
+            for key, count in injected.items()
+        }
+
+
+def _set_state_element(state, state_key, value: int) -> None:
+    """Write ``value`` into the state element named by ``state_key``."""
+    kind = state_key[0]
+    if kind == "acc_a":
+        state.acc_a = value
+    elif kind == "acc_b":
+        state.acc_b = value
+    elif kind == "macreg":
+        state.macreg = value
+    elif kind == "buffer":
+        state.buffer = value
+    elif kind == "temp":
+        state.temp = value
+    elif kind == "reg":
+        state.regs[state_key[1]] = value
+    else:
+        raise ValueError(f"unknown state element {state_key!r}")

@@ -1,0 +1,52 @@
+"""Structural RTL component library.
+
+Each module provides factory functions that build standalone gate-level
+netlists for one datapath component, with named input/output buses.  These
+netlists play the role of the synthesised (Design Compiler) blocks in the
+paper: they define the stuck-at fault universe of each component and are
+what the fault simulators grade.
+
+Word-level reference models (``*_reference`` functions) accompany every
+generator and are used by tests and by the behavioural DSP core, keeping the
+behavioural and gate-level views in lock-step.
+"""
+
+from repro.rtl.arith import (
+    make_adder,
+    make_addsub,
+    ripple_adder,
+    addsub_reference,
+)
+from repro.rtl.multiplier import make_multiplier, multiplier_reference
+from repro.rtl.shifter import make_shifter, shifter_reference, SHIFT_MODES
+from repro.rtl.saturate import make_limiter, limiter_reference
+from repro.rtl.truncate import make_truncater, truncater_reference
+from repro.rtl.mux import make_mux2_bus, mux2_reference
+from repro.rtl.register import (
+    make_register,
+    make_register_file,
+    register_reference,
+)
+from repro.rtl.decoder import make_truth_table_logic
+
+__all__ = [
+    "make_adder",
+    "make_addsub",
+    "ripple_adder",
+    "addsub_reference",
+    "make_multiplier",
+    "multiplier_reference",
+    "make_shifter",
+    "shifter_reference",
+    "SHIFT_MODES",
+    "make_limiter",
+    "limiter_reference",
+    "make_truncater",
+    "truncater_reference",
+    "make_mux2_bus",
+    "mux2_reference",
+    "make_register",
+    "make_register_file",
+    "register_reference",
+    "make_truth_table_logic",
+]

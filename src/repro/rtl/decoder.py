@@ -1,0 +1,60 @@
+"""Two-level truth-table logic, used for the DSP control decoder.
+
+Given a truth table mapping input words to output words, builds minterm
+AND gates and per-output OR gates — the sum-of-products network a simple
+synthesis of a decoder would produce.  Unspecified input values produce
+all-zero outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.logic.builder import NetlistBuilder
+from repro.logic.netlist import Netlist
+
+
+def truth_table_logic(b: NetlistBuilder, inputs: List[int],
+                      out_width: int, table: Mapping[int, int],
+                      prefix: str = "tt") -> List[int]:
+    """Build SOP logic for ``table`` inside an existing builder.
+
+    ``inputs`` are the input nets (LSB first); returns ``out_width`` output
+    nets.  Rows mapping to zero are skipped (no minterm built).
+    """
+    inverted = [b.not_(bit) for bit in inputs]
+    minterms: Dict[int, int] = {}
+    for value, out_word in table.items():
+        if value >= (1 << len(inputs)):
+            raise ValueError(f"table row {value} exceeds input width")
+        if out_word == 0:
+            continue
+        terms = [
+            inputs[i] if (value >> i) & 1 else inverted[i]
+            for i in range(len(inputs))
+        ]
+        minterms[value] = b.and_(*terms, name=f"{prefix}_m{value}")
+    outputs: List[int] = []
+    for j in range(out_width):
+        sources = [
+            net for value, net in minterms.items()
+            if (table[value] >> j) & 1
+        ]
+        if not sources:
+            outputs.append(b.const0())
+        elif len(sources) == 1:
+            outputs.append(b.buf(sources[0], name=f"{prefix}_o{j}"))
+        else:
+            outputs.append(b.or_(*sources, name=f"{prefix}_o{j}"))
+    return outputs
+
+
+def make_truth_table_logic(in_width: int, out_width: int,
+                           table: Mapping[int, int],
+                           name: str = "decoder") -> Netlist:
+    """Standalone truth-table netlist: bus ``in`` → ``out``."""
+    b = NetlistBuilder(name)
+    inputs = b.input_bus("in", in_width)
+    outputs = truth_table_logic(b, inputs, out_width, table, prefix=name)
+    b.output_bus("out", outputs)
+    return b.finish()

@@ -1,0 +1,121 @@
+"""Registers with write enable and the 16×8 register file.
+
+The register file follows the paper's description: sixteen 8-bit registers,
+two read ports (operands A and B) and one write port.  Structurally it is a
+write-address decoder, per-register enabled registers, and two 16:1 read
+mux trees — the same shape synthesis would produce without a RAM macro.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.logic.builder import NetlistBuilder
+from repro.logic.gates import GateType
+from repro.logic.netlist import Netlist
+
+
+def enabled_register(b: NetlistBuilder, d: Sequence[int], en: int,
+                     name: str) -> List[int]:
+    """A register bank that loads ``d`` when ``en`` is high, else holds."""
+    qs: List[int] = []
+    loop_nets = [b.net(f"{name}_d{i}") for i in range(len(d))]
+    for i, d_bit in enumerate(d):
+        q = b.net(f"{name}[{i}]")
+        b.netlist.add_dff(q, loop_nets[i], 0)
+        # next = en ? d : q  (built inline so the mux drives the declared net)
+        nsel = b.not_(en)
+        hold = b.and_(q, nsel)
+        load = b.and_(d_bit, en)
+        b.netlist.add_gate(GateType.OR, loop_nets[i], (hold, load))
+        qs.append(q)
+    b.netlist.add_bus(name, qs)
+    return qs
+
+
+def make_register(width: int, name: str = "register") -> Netlist:
+    """Enabled register netlist: buses ``d``, ``en`` → ``q``."""
+    b = NetlistBuilder(name)
+    d = b.input_bus("d", width)
+    en = b.input("en")
+    qs = enabled_register(b, d, en, "q")
+    for q in qs:
+        b.netlist.add_output(q)
+    return b.finish()
+
+
+def register_reference(q: int, d: int, en: int) -> int:
+    """Word-level model of one clock edge of :func:`make_register`."""
+    return d if en else q
+
+
+def _address_decoder(b: NetlistBuilder, addr: Sequence[int],
+                     n: int) -> List[int]:
+    """One-hot decode of an address bus into ``n`` select lines."""
+    inverted = [b.not_(bit) for bit in addr]
+    selects: List[int] = []
+    for value in range(n):
+        terms = [
+            addr[i] if (value >> i) & 1 else inverted[i]
+            for i in range(len(addr))
+        ]
+        selects.append(b.and_(*terms))
+    return selects
+
+
+def _read_mux_tree(b: NetlistBuilder, addr: Sequence[int],
+                   words: Sequence[Sequence[int]]) -> List[int]:
+    """Binary mux tree selecting ``words[addr]``."""
+    level = [list(w) for w in words]
+    for bit in addr:
+        level = [
+            b.mux2_bus(bit, level[2 * i], level[2 * i + 1])
+            for i in range(len(level) // 2)
+        ]
+    return level[0]
+
+
+def register_file_into(b: NetlistBuilder, wdata: Sequence[int],
+                       waddr: Sequence[int], wen: int,
+                       raddr_a: Sequence[int], raddr_b: Sequence[int],
+                       n_regs: int = 16,
+                       prefix: str = "rf") -> "Tuple[List[int], List[int]]":
+    """Build the register file inside an existing builder.
+
+    Returns ``(rdata_a, rdata_b)``.  Reads see the *current* stored values
+    (the write takes effect at the clock edge).
+    """
+    if n_regs & (n_regs - 1):
+        raise ValueError("n_regs must be a power of two")
+    selects = _address_decoder(b, waddr, n_regs)
+    regs: List[List[int]] = []
+    for r in range(n_regs):
+        en = b.and_(selects[r], wen)
+        regs.append(enabled_register(b, wdata, en, f"{prefix}_r{r}"))
+    rdata_a = _read_mux_tree(b, raddr_a, regs)
+    rdata_b = _read_mux_tree(b, raddr_b, regs)
+    return rdata_a, rdata_b
+
+
+def make_register_file(n_regs: int = 16, width: int = 8,
+                       name: str = "regfile") -> Netlist:
+    """Register file netlist.
+
+    Buses: ``wdata`` (write data), ``waddr``, ``wen``, ``raddr_a``,
+    ``raddr_b`` → ``rdata_a``, ``rdata_b``.
+    """
+    if n_regs & (n_regs - 1):
+        raise ValueError("n_regs must be a power of two")
+    addr_w = n_regs.bit_length() - 1
+    b = NetlistBuilder(name)
+    wdata = b.input_bus("wdata", width)
+    waddr = b.input_bus("waddr", addr_w)
+    wen = b.input("wen")
+    raddr_a = b.input_bus("raddr_a", addr_w)
+    raddr_b = b.input_bus("raddr_b", addr_w)
+    rdata_a, rdata_b = register_file_into(
+        b, wdata, waddr, wen, raddr_a, raddr_b, n_regs
+    )
+    b.output_bus("rdata_a", rdata_a)
+    b.output_bus("rdata_b", rdata_b)
+    return b.finish()

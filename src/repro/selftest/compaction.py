@@ -1,0 +1,151 @@
+"""Static compaction of self-test programs.
+
+The paper optimises test *time* by boosting and by one-shots; the dual
+optimisation is shrinking the loop itself: lines whose removal costs no
+coverage make every iteration cheaper.  This module applies classic
+fault-simulation-driven static compaction to the SBST loop:
+
+1. grade the program and attribute each fault's *first detection* to the
+   loop line in flight at that cycle (instruction fetched at cycle *t* is
+   line ``t mod loop_length``, pipeline offset included);
+2. the least-credited loop lines become removal candidates;
+3. candidates are tried greedily and every removal is *verified* by
+   re-grading: a removal that loses any detection is rolled back.
+
+The verified re-grading makes this safe but slow; it is meant for the
+final production program, not for iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.faults.hierarchical import (
+    DspFaultUniverse,
+    HierarchicalFaultSimulator,
+)
+from repro.selftest.program import ProgramLine, TestProgram
+from repro.selftest.vectors import expand_program
+
+#: Pipeline depth: a detection at cycle t is credited to the instruction
+#: fetched up to PIPELINE_WINDOW cycles earlier.
+PIPELINE_WINDOW = 4
+
+
+@dataclass
+class CompactionResult:
+    """Outcome of one compaction run."""
+
+    original: TestProgram
+    compacted: TestProgram
+    removed: List[ProgramLine] = field(default_factory=list)
+    original_coverage: float = 0.0
+    compacted_coverage: float = 0.0
+
+    @property
+    def lines_saved(self) -> int:
+        return len(self.original.loop_lines) - len(self.compacted.loop_lines)
+
+    def summary(self) -> str:
+        return (f"compaction: {len(self.original.loop_lines)} -> "
+                f"{len(self.compacted.loop_lines)} loop lines "
+                f"({self.lines_saved} removed), coverage "
+                f"{self.original_coverage:.2%} -> "
+                f"{self.compacted_coverage:.2%}")
+
+
+def attribute_detections(first_detect: Dict, loop_length: int,
+                         n_one_shot: int = 0) -> Dict[int, int]:
+    """Count first detections per loop-line index.
+
+    A detection at cycle *t* is credited to every line in flight during
+    the pipeline window ending at *t* (attribution is deliberately
+    generous: a line is a removal candidate only if it is credited with
+    *nothing at all*).
+    """
+    credit: Dict[int, int] = {}
+    for cycle in first_detect.values():
+        if cycle is None or cycle < n_one_shot:
+            continue
+        loop_cycle = cycle - n_one_shot
+        for offset in range(PIPELINE_WINDOW + 1):
+            line = (loop_cycle - offset) % loop_length
+            if loop_cycle - offset >= 0:
+                credit[line] = credit.get(line, 0) + 1
+    return credit
+
+
+def _without_lines(program: TestProgram,
+                   drop: Set[int]) -> TestProgram:
+    """A copy of ``program`` without the loop lines at indices ``drop``."""
+    compacted = TestProgram()
+    loop_index = 0
+    for line in program.lines:
+        if line.in_loop:
+            if loop_index in drop:
+                loop_index += 1
+                continue
+            loop_index += 1
+        compacted.lines.append(line)
+    return compacted
+
+
+def compact_program(
+    program: TestProgram,
+    n_iterations: int,
+    universe_factory=DspFaultUniverse,
+    max_removals: int = 6,
+) -> CompactionResult:
+    """Remove verified-useless loop lines from ``program``.
+
+    ``n_iterations`` is the grading budget used both for attribution and
+    for the verification re-grades.
+    """
+    loop_length = len(program.loop_lines)
+    if loop_length == 0:
+        raise ValueError("program has no loop lines")
+    words = expand_program(program, n_iterations)
+    baseline = HierarchicalFaultSimulator(
+        universe=universe_factory()
+    ).run(words)
+    base_report = baseline.coverage_report()
+    credit = attribute_detections(
+        baseline.first_detect, loop_length,
+        n_one_shot=len(program.one_shot_lines),
+    )
+
+    # Least-credited lines first: for loops shorter than the pipeline
+    # window every line collects some credit, so ordering (not a zero
+    # test) chooses the candidates and the verification re-grade decides.
+    candidates = sorted(range(loop_length),
+                        key=lambda index: credit.get(index, 0))
+    removed: List[ProgramLine] = []
+    dropped: Set[int] = set()
+    current_detected = base_report.n_detected
+    for index in candidates[:max_removals]:
+        trial_drop = dropped | {index}
+        trial = _without_lines(program, trial_drop)
+        if not trial.loop_lines:
+            continue
+        trial_words = expand_program(trial, n_iterations)
+        result = HierarchicalFaultSimulator(
+            universe=universe_factory()
+        ).run(trial_words)
+        if result.coverage_report().n_detected >= current_detected:
+            dropped = trial_drop
+            removed.append(program.loop_lines[index])
+            current_detected = result.coverage_report().n_detected
+    compacted = _without_lines(program, dropped)
+
+    final_words = expand_program(compacted, n_iterations)
+    final = HierarchicalFaultSimulator(
+        universe=universe_factory()
+    ).run(final_words)
+    return CompactionResult(
+        original=program,
+        compacted=compacted,
+        removed=removed,
+        original_coverage=base_report.fault_coverage,
+        compacted_coverage=final.coverage_report().fault_coverage,
+    )

@@ -1,0 +1,89 @@
+"""Test planning: iterations, coverage targets and tester time.
+
+Generalises the paper's back-of-envelope ("34 instructions × 6000
+iterations = 204,000 vectors... total test time would be 0.408 ms"): given
+a measured coverage curve, pick the loop count for a coverage target and
+report the time cost at a given core clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.coverage import coverage_curve
+
+
+@dataclass(frozen=True)
+class TestPlan:
+    """A concrete test schedule for one program."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    program_length: int
+    n_iterations: int
+    n_one_shot: int = 0
+    clock_hz: float = 500e6
+
+    @property
+    def n_vectors(self) -> int:
+        return self.n_one_shot + self.program_length * self.n_iterations
+
+    @property
+    def test_time_seconds(self) -> float:
+        return self.n_vectors / self.clock_hz
+
+    def describe(self) -> str:
+        return (f"{self.program_length} instructions x "
+                f"{self.n_iterations} iterations"
+                + (f" + {self.n_one_shot} one-shot" if self.n_one_shot
+                   else "")
+                + f" = {self.n_vectors} vectors, "
+                  f"{self.test_time_seconds * 1e3:.3f} ms at "
+                  f"{self.clock_hz / 1e6:.0f} MHz")
+
+
+def paper_plan() -> TestPlan:
+    """The paper's §3.3 numbers: 34 × 6000 at 500 MHz = 0.408 ms."""
+    return TestPlan(program_length=34, n_iterations=6000)
+
+
+def iterations_for_target(
+    first_detect,
+    n_vectors: int,
+    program_length: int,
+    target_coverage: float,
+) -> Optional[int]:
+    """Smallest loop count reaching ``target_coverage`` on the measured run.
+
+    ``first_detect`` and ``n_vectors`` come from a fault-simulation run of
+    the same program; returns ``None`` when the run never reaches the
+    target (loop longer or move to Phase 3).
+    """
+    if not 0 < target_coverage <= 1:
+        raise ValueError("target_coverage must be in (0, 1]")
+    curve = coverage_curve(first_detect, n_vectors,
+                           step=max(1, program_length))
+    for vectors, coverage in curve:
+        if coverage >= target_coverage:
+            return max(1, -(-vectors // program_length))  # ceil division
+    return None
+
+
+def plan_for_target(
+    first_detect,
+    n_vectors: int,
+    program_length: int,
+    target_coverage: float,
+    clock_hz: float = 500e6,
+    n_one_shot: int = 0,
+) -> Optional[TestPlan]:
+    """A :class:`TestPlan` meeting the coverage target, or ``None``."""
+    iterations = iterations_for_target(
+        first_detect, n_vectors, program_length, target_coverage
+    )
+    if iterations is None:
+        return None
+    return TestPlan(program_length=program_length,
+                    n_iterations=iterations, n_one_shot=n_one_shot,
+                    clock_hz=clock_hz)

@@ -1,0 +1,163 @@
+"""Tests for PODEM, time-frame unrolling, and random-resistant targeting."""
+
+import pytest
+
+from repro.atpg.podem import Podem
+from repro.atpg.random_resistant import (
+    find_random_resistant,
+    target_random_resistant,
+)
+from repro.atpg.unroll import unroll
+from repro.faults.combsim import CombFaultSimulator
+from repro.faults.model import Fault, collapse_faults
+from repro.faults.seqsim import SeqFaultSimulator
+from repro.logic.builder import NetlistBuilder
+from repro.rtl.arith import make_addsub
+from repro.rtl.multiplier import make_multiplier
+from repro.rtl.saturate import make_limiter
+
+
+def verify_pattern(netlist, fault, result):
+    sim = CombFaultSimulator(netlist)
+    words = result.pattern_words(netlist)
+    detections = sim.detect({k: [v] for k, v in words.items()},
+                            faults=[fault])
+    return bool(detections[fault])
+
+
+@pytest.mark.parametrize("maker", [
+    lambda: make_addsub(6),
+    lambda: make_limiter(),
+])
+def test_podem_detects_every_testable_fault(maker):
+    nl = maker()
+    engine = Podem(nl, backtrack_limit=5000)
+    undetected = []
+    for fault in collapse_faults(nl).faults:
+        result = engine.generate(fault)
+        if result.detected:
+            assert verify_pattern(nl, fault, result), fault.describe(nl)
+        elif result.status == "aborted":
+            undetected.append(fault)
+        # untestable faults are acceptable: redundancy exists
+    assert not undetected, [f.describe(nl) for f in undetected]
+
+
+def test_podem_rejects_sequential():
+    b = NetlistBuilder("seq")
+    a = b.input("a")
+    q = b.dff(a)
+    b.output(q)
+    with pytest.raises(ValueError):
+        Podem(b.finish())
+
+
+def test_podem_proves_redundancy():
+    """a AND NOT a == 0: the output sa0 is untestable."""
+    b = NetlistBuilder("red")
+    a = b.input("a")
+    out = b.and_(a, b.not_(a))
+    b.output(out)
+    nl = b.finish()
+    result = Podem(nl).generate(Fault(out, 0))
+    assert result.status == "untestable"
+    result = Podem(nl).generate(Fault(out, 1))
+    assert result.detected
+
+
+def test_pattern_words_requires_detection():
+    nl = make_addsub(2)
+    engine = Podem(nl)
+    result = engine.generate(Fault(nl.net_id("a[0]"), 0))
+    assert result.detected
+    with pytest.raises(ValueError):
+        from repro.atpg.podem import PodemResult
+        PodemResult((), None, "aborted", 0).pattern_words(nl)
+
+
+# ----------------------------------------------------------------------
+# Unrolling
+# ----------------------------------------------------------------------
+def toggler():
+    """1-bit toggle flip-flop with enable."""
+    b = NetlistBuilder("toggle")
+    en = b.input("en")
+    d = b.net("d")
+    q = b.dff(d, name="q")
+    b.netlist.add_bus("q", [q])
+    from repro.logic.gates import GateType
+    b.netlist.add_gate(GateType.XOR, d, (q, en))
+    b.output(q)
+    return b.finish()
+
+
+def test_unroll_structure():
+    nl = toggler()
+    unrolled = unroll(nl, 3)
+    assert unrolled.netlist.dffs == []
+    assert len(unrolled.netlist.inputs) == 3   # en per frame
+    assert len(unrolled.netlist.outputs) == 3  # q per frame
+
+
+def test_unroll_semantics():
+    """Unrolled evaluation equals stepping the sequential netlist."""
+    from repro.logic.sequential import SequentialSimulator
+    from repro.logic.simulator import CombSimulator
+    nl = toggler()
+    unrolled = unroll(nl, 4)
+    comb = CombSimulator(unrolled.netlist)
+    for stimulus in ([1, 1, 0, 1], [0, 1, 1, 1], [1, 0, 0, 0]):
+        seq = SequentialSimulator(nl)
+        expected = seq.run_sequence({"en": stimulus}, output_bus="q")
+        inputs = {}
+        for frame, bit in enumerate(stimulus):
+            inputs[unrolled.frame_bus(frame, "en")[0]] = bit
+        values = comb.run(inputs)
+        got = [values[unrolled.frame_bus(frame, "q")[0]]
+               for frame in range(4)]
+        assert got == expected
+
+
+def test_unroll_validates_frames():
+    with pytest.raises(ValueError):
+        unroll(toggler(), 0)
+
+
+def test_sequential_atpg_detects_toggler_fault():
+    """A stuck toggle output is found by multi-frame PODEM and confirmed
+    by sequential fault simulation."""
+    nl = toggler()
+    unrolled = unroll(nl, 3)
+    engine = Podem(unrolled.netlist)
+    fault = Fault(nl.net_id("q"), 0)
+    result = engine.generate_multi(unrolled.fault_sites(fault))
+    assert result.detected
+    stimulus = []
+    for frame in range(3):
+        net = unrolled.frame_bus(frame, "en")[0]
+        stimulus.append(result.pattern.get(net, 0))
+    seq_result = SeqFaultSimulator(nl).run_sequence(
+        {"en": stimulus}, faults=[fault]
+    )
+    assert seq_result.first_detect_cycle[fault] is not None
+
+
+# ----------------------------------------------------------------------
+# Random-resistant flow
+# ----------------------------------------------------------------------
+def test_find_random_resistant_shrinks_with_patterns():
+    nl = make_multiplier(8, 18)
+    few = find_random_resistant(nl, n_patterns=64)
+    many = find_random_resistant(nl, n_patterns=2048)
+    assert len(many) <= len(few)
+
+
+def test_target_random_resistant_statuses():
+    nl = make_multiplier(8, 18)
+    resistant = find_random_resistant(nl, n_patterns=4096)
+    targeted = target_random_resistant(nl, resistant[:6],
+                                       backtrack_limit=2000)
+    for t in targeted:
+        assert t.result.status in ("detected", "untestable", "aborted")
+        if t.result.detected:
+            assert verify_pattern(nl, t.fault, t.result)

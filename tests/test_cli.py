@@ -1,0 +1,91 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table1_command(capsys):
+    assert main(["table1", "--samples", "120", "--good", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "Mult" in out and "Clear" in out
+    assert "Mac R" in out
+
+
+def test_metrics_command(capsys):
+    assert main(["metrics", "--samples", "30", "--good", "2",
+                 "--columns", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "multiplier" in out
+    assert "loadR" in out
+
+
+def test_generate_command(tmp_path, capsys):
+    vectors = tmp_path / "v.txt"
+    assert main(["generate", "--samples", "30", "--good", "2",
+                 "--iterations", "3", "--vectors", str(vectors)]) == 0
+    out = capsys.readouterr().out
+    assert "Phase 1" in out
+    assert "ld rnd" in out
+    assert "MISR signature" in out
+    assert vectors.exists()
+    first = vectors.read_text().splitlines()[0]
+    assert len(first.split()[0]) == 17
+
+
+def test_grade_command(capsys):
+    assert main(["grade", "--samples", "30", "--good", "2",
+                 "--iterations", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "faults detected" in out
+    assert "500 MHz" in out
+
+
+def test_constraints_command(capsys):
+    assert main(["constraints", "--patterns", "512"]) == 0
+    out = capsys.readouterr().out
+    assert "shifter modes" in out
+    assert "discardable modes" in out
+
+
+def test_export_verilog_command(tmp_path, capsys):
+    output = tmp_path / "core.v"
+    assert main(["export-verilog", "--output", str(output)]) == 0
+    src = output.read_text()
+    assert src.startswith("module dsp_core")
+    assert "endmodule" in src
+
+
+def test_save_and_reuse_metrics_table(tmp_path, capsys):
+    table_file = tmp_path / "table.json"
+    assert main(["metrics", "--samples", "30", "--good", "2",
+                 "--columns", "3", "--save-table", str(table_file)]) == 0
+    assert table_file.exists()
+    capsys.readouterr()
+    # Reusing the saved table must skip measurement entirely and produce
+    # a program.
+    assert main(["generate", "--iterations", "2",
+                 "--table", str(table_file)]) == 0
+    out = capsys.readouterr().out
+    assert "ld rnd" in out
+
+
+def test_isa_command(capsys):
+    assert main(["isa"]) == 0
+    out = capsys.readouterr().out
+    assert "MPYSHIFTMACA" in out
+    assert "ld-rnd trap opcode" in out
+    assert "F2" in out and "F3" in out
+
+
+def test_core_report_command(capsys):
+    assert main(["core-report"]) == 0
+    out = capsys.readouterr().out
+    assert "logic depth" in out
+    assert "multiplier" in out
+    assert "fanout histogram" in out

@@ -1,0 +1,94 @@
+"""Cross-validation of the hierarchical fault simulator.
+
+DESIGN.md promises that the Tetramax-substitute (component-local gate-level
+detection + behavioural propagation) is validated against exact flat
+gate-level sequential fault simulation.  This test grades the *same*
+instruction stream both ways — the flat core fault-parallel, the
+hierarchical simulator per component — and compares coverage per datapath
+region (the flat core's gates carry region provenance labels).
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.bist.template import RandomLoad, TemplateArchitecture
+from repro.dsp.gatelevel import make_gatelevel_core
+from repro.dsp.isa import Instruction, Opcode
+from repro.faults.hierarchical import HierarchicalFaultSimulator
+from repro.faults.seqsim import SeqFaultSimulator
+
+#: Regions compared; others are either too small for rates to be stable
+#: (truncater region: 2 flat faults) or differ in fault-model scope.
+COMPARED = (
+    "multiplier", "shifter", "addsub", "acca", "accb", "regfile",
+    "muxa", "muxb", "muxg_shifter", "muxg_limiter", "limiter",
+    "mux7", "macreg", "buffer",
+)
+TOLERANCE = 0.12
+
+
+def stream():
+    program = [
+        RandomLoad(0), RandomLoad(1),
+        Instruction(Opcode.MPYA, rega=0, regb=1, dest=2),
+        Instruction(Opcode.OUT, regb=2),
+        Instruction(Opcode.MACB_SUB, rega=0, regb=1, dest=3),
+        Instruction(Opcode.OUT, regb=3),
+        Instruction(Opcode.SHIFTA, rega=0, dest=4),
+        Instruction(Opcode.OUT, regb=4),
+        Instruction(Opcode.OUTA),
+        Instruction(Opcode.OUTB),
+    ]
+    return TemplateArchitecture(program).expand(8)
+
+
+@pytest.fixture(scope="module")
+def both_runs():
+    words = stream()
+    flat = make_gatelevel_core()
+    flat_result = SeqFaultSimulator(flat).run_sequence({"instr": words})
+    flat_by_region = defaultdict(lambda: [0, 0])
+    for fault, cycle in flat_result.first_detect_cycle.items():
+        region = flat.net_regions.get(fault.net)
+        if region is None:
+            continue
+        flat_by_region[region][1] += 1
+        flat_by_region[region][0] += cycle is not None
+    hier = HierarchicalFaultSimulator().run(words)
+    return flat_by_region, hier.coverage_report().by_component
+
+
+def test_per_component_coverage_agreement(both_runs):
+    flat_by_region, hier_by_component = both_runs
+    disagreements = []
+    for component in COMPARED:
+        flat_detected, flat_total = flat_by_region[component]
+        if flat_total < 20:
+            continue
+        hier_detected, hier_total = hier_by_component[component]
+        flat_rate = flat_detected / flat_total
+        hier_rate = hier_detected / hier_total
+        if abs(flat_rate - hier_rate) > TOLERANCE:
+            disagreements.append(
+                f"{component}: flat {flat_rate:.1%} vs "
+                f"hierarchical {hier_rate:.1%}"
+            )
+    assert not disagreements, disagreements
+
+
+def test_major_components_closely_matched(both_runs):
+    """The big structures must agree tightly, not just within tolerance."""
+    flat_by_region, hier_by_component = both_runs
+    for component in ("multiplier", "shifter", "regfile"):
+        flat_detected, flat_total = flat_by_region[component]
+        hier_detected, hier_total = hier_by_component[component]
+        assert abs(flat_detected / flat_total
+                   - hier_detected / hier_total) < 0.05, component
+
+
+def test_flat_universe_carries_region_labels():
+    flat = make_gatelevel_core()
+    labelled = set(flat.net_regions.values())
+    for component in COMPARED:
+        assert component in labelled, component

@@ -1,0 +1,96 @@
+"""Tests for the DSP kernels: numeric agreement with float references."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.kernels import (
+    biquad,
+    biquad_reference,
+    dot_product,
+    dot_product_reference,
+    fir,
+    fir_program,
+    fir_reference,
+    scale,
+    scale_reference,
+)
+
+#: One output quantisation step is 1/16; rounding of each term of an
+#: N-term kernel accumulates to roughly N/32 worst case.
+Q = 1 / 16
+
+SMALL = st.floats(min_value=-1.9, max_value=1.9)
+
+
+def test_fir_matches_reference():
+    rng = random.Random(3)
+    samples = [rng.uniform(-2, 2) for _ in range(10)]
+    taps = [0.5, 0.25, -0.125, 0.0625]
+    got = fir(samples, taps)
+    want = fir_reference(samples, taps)
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert abs(g - w) <= len(taps) * Q
+
+
+def test_fir_rejects_too_many_taps():
+    with pytest.raises(ValueError):
+        fir_program([0.0], [0.1] * 5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(SMALL, min_size=1, max_size=6))
+def test_fir_impulse_response_is_taps(samples):
+    """Feeding a unit impulse reproduces the (quantised) taps."""
+    taps = [0.5, -0.25, 0.125]
+    got = fir([1.0] + [0.0] * (len(taps) - 1), taps)
+    for g, tap in zip(got, taps):
+        assert abs(g - tap) <= 2 * Q
+
+
+def test_dot_product_matches_reference():
+    xs = [0.5, -1.25, 2.0, 0.0625]
+    ys = [1.0, 0.5, -0.75, 1.5]
+    got = dot_product(xs, ys)
+    want = dot_product_reference(xs, ys)
+    assert abs(got - want) <= len(xs) * Q
+
+
+def test_dot_product_validates_lengths():
+    with pytest.raises(ValueError):
+        dot_product([1.0], [1.0, 2.0])
+
+
+def test_dot_product_orthogonal_vectors():
+    assert abs(dot_product([1.0, 0.0], [0.0, 1.0])) <= Q
+
+
+def test_biquad_matches_reference():
+    samples = [1.0, 0.5, -0.5, 0.25, 0.0, -1.0]
+    b_coeffs = (0.25, 0.5, 0.25)
+    a_coeffs = (-0.5, 0.25)
+    got = biquad(samples, b_coeffs, a_coeffs)
+    want = biquad_reference(samples, b_coeffs, a_coeffs)
+    for g, w in zip(got, want):
+        # Feedback recirculates quantisation error; allow a wider band.
+        assert abs(g - w) <= 0.5
+
+
+def test_scale_saturates_like_limiter():
+    samples = [0.5, 3.0, -3.0, 7.0, -7.0]
+    got = scale(samples, 2.0)
+    want = scale_reference(samples, 2.0)
+    for g, w in zip(got, want):
+        assert abs(g - w) <= 2 * Q
+    assert got[3] == pytest.approx(127 / 16)   # clipped high
+    assert got[4] == pytest.approx(-128 / 16)  # clipped low
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(SMALL, min_size=1, max_size=8),
+       st.floats(min_value=-1.5, max_value=1.5))
+def test_scale_within_bounds(samples, gain):
+    for value in scale(samples, gain):
+        assert -8.0 <= value <= 127 / 16

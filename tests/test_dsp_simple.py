@@ -1,0 +1,119 @@
+"""Tests for the simple Fig. 1 datapath (behavioural vs gate level)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.simple import (
+    ALU_ADD,
+    ALU_CLEAR,
+    ALU_SUB,
+    SIMPLE_COLUMNS,
+    SIMPLE_COLUMN_LABELS,
+    SimpleDspCore,
+    SimpleOp,
+    alu_reference,
+    make_simple_core,
+)
+from repro.logic.sequential import SequentialSimulator
+
+WORD8 = st.integers(0, 255)
+
+
+def test_alu_reference():
+    assert alu_reference(10, 5, ALU_ADD) == 15
+    assert alu_reference(10, 5, ALU_SUB) == 5
+    assert alu_reference(3, 250, ALU_SUB) == (3 - 250) & 0xFF
+    assert alu_reference(99, 5, ALU_CLEAR) == 0
+    with pytest.raises(ValueError):
+        alu_reference(0, 0, 7)
+
+
+def test_add_and_mac_semantics():
+    core = SimpleDspCore()
+    core.step(SimpleOp.ADD, 5, 0)
+    assert core.state.acc == 5
+    core.step(SimpleOp.MAC, 3, 4)
+    assert core.state.acc == 5 + 12
+    core.step(SimpleOp.SUB, 7, 0)
+    assert core.state.acc == 10
+    core.step(SimpleOp.CLR, 0xFF, 0xFF)
+    assert core.state.acc == 0
+
+
+def test_output_is_registered():
+    core = SimpleDspCore()
+    out = core.step(SimpleOp.ADD, 9, 0)
+    assert out == 0           # pre-update value
+    out = core.step(SimpleOp.ADD, 1, 0)
+    assert out == 9
+
+
+def test_trace_and_modes():
+    core = SimpleDspCore()
+    trace = {}
+    core.step(SimpleOp.SUB, 2, 3, trace=trace)
+    assert trace["alu"].mode == ALU_SUB
+    assert trace["mult"].inputs == {"a": 2, "b": 3}
+    trace = {}
+    core.step(SimpleOp.MAC, 2, 3, trace=trace)
+    assert trace["alu"].inputs["b"] == 6  # the product is selected
+
+
+def test_override_injection():
+    clean = SimpleDspCore()
+    clean.step(SimpleOp.MAC, 2, 3)
+    poked = SimpleDspCore()
+    poked.step(SimpleOp.MAC, 2, 3, overrides={"mult": 0})
+    assert clean.state.acc == 6
+    assert poked.state.acc == 0
+
+
+def test_stuck_bits():
+    core = SimpleDspCore(stuck_bits={("acc",): (0xFF, 0x01)})
+    assert core.state.acc == 1
+    core.step(SimpleOp.CLR, 0, 0)
+    assert core.state.acc == 1
+    with pytest.raises(ValueError):
+        SimpleDspCore(stuck_bits={("nope",): (0, 0)})
+
+
+def test_columns_match_table1_header():
+    labels = [SIMPLE_COLUMN_LABELS[c] for c in SIMPLE_COLUMNS]
+    assert labels == ["Mult", "Add", "Sub", "Clear", "Acc"]
+
+
+@pytest.fixture(scope="module")
+def gate_core():
+    return make_simple_core()
+
+
+def test_gate_level_matches_behavioural_random(gate_core):
+    rng = random.Random(42)
+    behav = SimpleDspCore()
+    gate = SequentialSimulator(gate_core)
+    for _ in range(200):
+        op = SimpleOp(rng.randrange(4))
+        in1, in2 = rng.randrange(256), rng.randrange(256)
+        expected_out = behav.step(op, in1, in2)
+        got = gate.step_bus({"op": int(op), "in1": in1, "in2": in2})
+        assert got["out"] == expected_out, (op, in1, in2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), WORD8, WORD8),
+                min_size=1, max_size=10))
+def test_gate_level_matches_behavioural_property(gate_core, steps):
+    behav = SimpleDspCore()
+    gate = SequentialSimulator(gate_core)
+    for op, in1, in2 in steps:
+        expected = behav.step(SimpleOp(op), in1, in2)
+        got = gate.step_bus({"op": op, "in1": in1, "in2": in2})
+        assert got["out"] == expected
+
+
+def test_gate_core_size():
+    stats = gate = make_simple_core().stats()
+    assert stats.n_dffs == 8
+    assert 200 <= stats.n_gates <= 2000

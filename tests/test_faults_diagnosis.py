@@ -1,0 +1,111 @@
+"""Tests for effect-cause fault diagnosis."""
+
+import pytest
+
+from repro.bist.template import RandomLoad, TemplateArchitecture
+from repro.dsp.isa import Instruction, Opcode
+from repro.faults.diagnosis import FaultDiagnoser
+from repro.faults.hierarchical import (
+    ComponentFault,
+    DspFaultUniverse,
+    StorageFault,
+)
+
+
+@pytest.fixture(scope="module")
+def diagnoser():
+    program = [
+        RandomLoad(0), RandomLoad(1),
+        Instruction(Opcode.MPYA, rega=0, regb=1, dest=2),
+        Instruction(Opcode.OUT, regb=2),
+        Instruction(Opcode.MACB_ADD, rega=0, regb=1, dest=3),
+        Instruction(Opcode.OUT, regb=3),
+        Instruction(Opcode.OUTA),
+        Instruction(Opcode.OUTB),
+    ]
+    words = TemplateArchitecture(program).expand(12)
+    universe = DspFaultUniverse(
+        components=["mux7", "macreg", "limiter", "acca"],
+        include_regfile=False,
+    )
+    return FaultDiagnoser(words, universe=universe)
+
+
+def test_clean_response_yields_no_candidates(diagnoser):
+    assert diagnoser.diagnose(diagnoser.golden) == []
+
+
+def test_storage_fault_diagnosed_top1(diagnoser):
+    fault = StorageFault(("macreg",), "q", 3, 1)
+    observed = diagnoser.faulty_response(fault)
+    assert observed != diagnoser.golden
+    ranked = diagnoser.diagnose(observed)
+    assert ranked, "no candidates returned"
+    assert ranked[0].score == 1.0
+    # The top candidate predicts the observation exactly; it is the fault
+    # itself or an equivalent one.
+    assert diagnoser.faulty_response(ranked[0].fault) == observed
+
+
+def test_component_fault_diagnosed(diagnoser):
+    detected = [f for f in diagnoser.dictionary.detected
+                if isinstance(f, ComponentFault)
+                and f.component == "limiter"]
+    fault = detected[0]
+    observed = diagnoser.faulty_response(fault)
+    ranked = diagnoser.diagnose(observed)
+    assert ranked and ranked[0].score == 1.0
+    assert diagnoser.faulty_response(ranked[0].fault) == observed
+
+
+def test_diagnosis_scores_ordered(diagnoser):
+    fault = StorageFault(("acca",), "q", 9, 1)
+    observed = diagnoser.faulty_response(fault)
+    if observed == diagnoser.golden:
+        pytest.skip("fault not excited by this stream")
+    ranked = diagnoser.diagnose(observed, top_k=8)
+    scores = [c.score for c in ranked]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_out_of_model_defect_ranks_low(diagnoser):
+    """Corrupting one random cycle matches no modelled fault exactly."""
+    observed = list(diagnoser.golden)
+    # flip a bit at an observed (non-zero) cycle
+    idx = next(i for i, v in enumerate(observed) if v)
+    observed[idx] ^= 0x01
+    ranked = diagnoser.diagnose(observed)
+    assert all(c.score < 1.0 for c in ranked)
+
+
+def test_length_mismatch_rejected(diagnoser):
+    with pytest.raises(ValueError):
+        diagnoser.diagnose([0, 1, 2])
+
+
+def test_candidate_describe(diagnoser):
+    fault = StorageFault(("macreg",), "q", 0, 0)
+    observed = diagnoser.faulty_response(fault)
+    ranked = diagnoser.diagnose(observed)
+    if ranked:
+        text = ranked[0].describe()
+        assert "%" in text
+
+
+def test_signature_only_diagnosis(diagnoser):
+    """With only interval signatures, diagnosis still brackets the defect."""
+    from repro.bist.signatures import interval_signatures
+    fault = StorageFault(("macreg",), "q", 3, 1)
+    observed = diagnoser.faulty_response(fault)
+    observed_sigs = interval_signatures(observed, interval=8)
+    candidates = diagnoser.diagnose_from_signatures(observed_sigs)
+    assert candidates
+    true_cycle = diagnoser.dictionary.first_detect[fault]
+    window_cycles = {c.first_mismatch for c in candidates}
+    assert true_cycle in window_cycles
+
+
+def test_signature_diagnosis_clean_stream(diagnoser):
+    from repro.bist.signatures import interval_signatures
+    sigs = interval_signatures(diagnoser.golden, interval=8)
+    assert diagnoser.diagnose_from_signatures(sigs) == []

@@ -1,0 +1,119 @@
+"""Tests for fault-parallel sequential fault simulation."""
+
+import random
+
+import pytest
+
+from repro.faults.combsim import CombFaultSimulator
+from repro.faults.model import Fault, collapse_faults
+from repro.faults.seqsim import SeqFaultSimulator
+from repro.logic.builder import NetlistBuilder
+from repro.rtl.arith import make_addsub
+from repro.rtl.register import make_register
+
+
+def accumulator4():
+    """4-bit accumulator: acc <- acc + in."""
+    from repro.rtl.arith import ripple_adder
+    b = NetlistBuilder("acc4")
+    data = b.input_bus("in", 4)
+    d_nets = [b.net(f"d{i}") for i in range(4)]
+    q = [b.dff(d_nets[i], name=f"acc[{i}]") for i in range(4)]
+    b.netlist.add_bus("acc", q)
+    total, _ = ripple_adder(b, q, data, b.const0(), drop_final_carry=True)
+    from repro.logic.gates import GateType
+    for i in range(4):
+        b.netlist.add_gate(GateType.BUF, d_nets[i], (total[i],))
+    for bit in q:
+        b.netlist.add_output(bit)
+    return b.finish()
+
+
+def test_register_stuck_bit_detected():
+    nl = make_register(4)
+    sim = SeqFaultSimulator(nl)
+    q0 = nl.net_id("q[0]")
+    result = sim.run_sequence(
+        {"d": [0xF, 0x0, 0xF], "en": [1, 1, 1]},
+        faults=[Fault(q0, 0), Fault(q0, 1)],
+    )
+    # q[0] sa0: visible once a 1 was loaded (cycle 1 reads the first load).
+    assert result.first_detect_cycle[Fault(q0, 0)] == 1
+    # q[0] sa1: visible at reset (q should be 0 at cycle 0).
+    assert result.first_detect_cycle[Fault(q0, 1)] == 0
+
+
+def test_accumulator_state_fault_persists():
+    nl = accumulator4()
+    sim = SeqFaultSimulator(nl)
+    acc0 = nl.net_id("acc[0]")
+    result = sim.run_sequence(
+        {"in": [0, 0, 1, 0]}, faults=[Fault(acc0, 1)]
+    )
+    assert result.first_detect_cycle[Fault(acc0, 1)] == 0
+
+
+def test_full_grading_random_stimulus():
+    nl = accumulator4()
+    sim = SeqFaultSimulator(nl)
+    rng = random.Random(3)
+    stimulus = {"in": [rng.randrange(16) for _ in range(200)]}
+    result = sim.run_sequence(stimulus)
+    coverage = len(result.detected) / len(sim.fault_list.faults)
+    assert coverage > 0.9
+
+
+def test_matches_combinational_on_pure_comb_netlist():
+    """On a DFF-free netlist, sequential grading equals combinational."""
+    nl = make_addsub(3)
+    rng = random.Random(11)
+    words = [
+        (rng.randrange(8), rng.randrange(8), rng.randrange(2))
+        for _ in range(64)
+    ]
+    seq = SeqFaultSimulator(nl)
+    seq_result = seq.run_sequence({
+        "a": [w[0] for w in words],
+        "b": [w[1] for w in words],
+        "sub": [w[2] for w in words],
+    })
+    comb = CombFaultSimulator(nl, collapse_faults(nl))
+    first = comb.run_with_dropping([{
+        "a": [w[0] for w in words],
+        "b": [w[1] for w in words],
+        "sub": [w[2] for w in words],
+    }])
+    for fault, cycle in seq_result.first_detect_cycle.items():
+        assert (cycle is None) == (first[fault] is None), fault
+        if cycle is not None:
+            assert cycle == first[fault], fault
+
+
+def test_chunking_many_passes():
+    """Results must be identical regardless of machines_per_pass."""
+    nl = accumulator4()
+    stimulus = {"in": [1, 2, 3, 4, 5, 6, 7, 8]}
+    wide = SeqFaultSimulator(nl, machines_per_pass=63).run_sequence(stimulus)
+    narrow = SeqFaultSimulator(nl, machines_per_pass=2).run_sequence(stimulus)
+    assert wide.first_detect_cycle == narrow.first_detect_cycle
+
+
+def test_bad_machines_per_pass():
+    with pytest.raises(ValueError):
+        SeqFaultSimulator(accumulator4(), machines_per_pass=0)
+
+
+def test_mismatched_sequence_lengths_rejected():
+    sim = SeqFaultSimulator(make_register(2))
+    with pytest.raises(ValueError):
+        sim.run_sequence({"d": [1, 2], "en": [1]})
+
+
+def test_result_properties():
+    nl = make_register(2)
+    sim = SeqFaultSimulator(nl)
+    result = sim.run_sequence({"d": [3, 0], "en": [1, 1]})
+    assert set(result.detected) | set(result.undetected) == set(
+        sim.fault_list.faults
+    )
+    assert result.n_cycles == 2

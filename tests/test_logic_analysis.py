@@ -1,0 +1,70 @@
+"""Tests for netlist structural analysis."""
+
+from repro.dsp.gatelevel import make_gatelevel_core
+from repro.logic.analysis import (
+    fanout_histogram,
+    logic_depth,
+    region_inventory,
+)
+from repro.logic.builder import NetlistBuilder
+from repro.rtl.arith import make_adder
+
+
+def chain(n):
+    b = NetlistBuilder("chain")
+    net = b.input("a")
+    for _ in range(n):
+        net = b.not_(net)
+    b.output(net)
+    return b.finish()
+
+
+def test_depth_of_inverter_chain():
+    report = logic_depth(chain(7))
+    assert report.max_depth == 7
+    assert report.mean_output_depth == 7.0
+
+
+def test_depth_counts_dff_boundaries_as_sources():
+    b = NetlistBuilder("seq")
+    a = b.input("a")
+    q = b.dff(b.not_(a), name="q")
+    b.output(b.not_(q))
+    report = logic_depth(b.finish())
+    # Two sinks: the PO (depth 1 from q) and the DFF D (depth 1 from a).
+    assert report.max_depth == 1
+
+
+def test_ripple_adder_depth_scales_linearly():
+    small = logic_depth(make_adder(4)).max_depth
+    large = logic_depth(make_adder(16)).max_depth
+    assert large > small
+    assert large >= 16  # carry chain dominates
+
+
+def test_fanout_histogram_buckets():
+    b = NetlistBuilder("fan")
+    a = b.input("a")
+    for _ in range(6):
+        b.output(b.not_(a))
+    hist = fanout_histogram(b.finish())
+    assert hist[">8"] == 0
+    assert hist["<=8"] == 1  # the input net drives 6 gates
+    assert hist["<=1"] == 0  # inverter outputs are POs (no gate loads)
+
+
+def test_region_inventory_on_flat_core():
+    inventory = region_inventory(make_gatelevel_core())
+    assert inventory["multiplier"] > 300
+    assert inventory["shifter"] > 150
+    assert inventory["regfile"] > 500
+    assert inventory["(glue)"] > 50
+    total = sum(inventory.values())
+    assert total == len(make_gatelevel_core().gates)
+
+
+def test_core_depth_is_reported():
+    report = logic_depth(make_gatelevel_core())
+    # The multiplier's ripple array dominates; depth must be substantial
+    # but finite.
+    assert 30 <= report.max_depth <= 200

@@ -1,0 +1,71 @@
+"""Unit tests for primitive gate evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic.gates import ARITY, GateType, check_arity, eval_gate, eval_scalar
+
+
+def test_scalar_truth_tables():
+    cases = {
+        GateType.AND: {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1},
+        GateType.OR: {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1},
+        GateType.NAND: {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0},
+        GateType.NOR: {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0},
+        GateType.XOR: {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0},
+        GateType.XNOR: {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1},
+    }
+    for kind, table in cases.items():
+        for ins, expected in table.items():
+            assert eval_scalar(kind, ins) == expected, kind
+
+
+def test_scalar_unary_and_const():
+    assert eval_scalar(GateType.NOT, (0,)) == 1
+    assert eval_scalar(GateType.NOT, (1,)) == 0
+    assert eval_scalar(GateType.BUF, (1,)) == 1
+    assert eval_scalar(GateType.CONST0, ()) == 0
+    assert eval_scalar(GateType.CONST1, ()) == 1
+
+
+def test_wide_gates():
+    assert eval_scalar(GateType.AND, (1, 1, 1)) == 1
+    assert eval_scalar(GateType.AND, (1, 0, 1)) == 0
+    assert eval_scalar(GateType.OR, (0, 0, 1)) == 1
+    assert eval_scalar(GateType.NOR, (0, 0, 0)) == 1
+
+
+def test_arity_checking():
+    check_arity(GateType.AND, 2)
+    check_arity(GateType.AND, 5)
+    with pytest.raises(ValueError):
+        check_arity(GateType.AND, 1)
+    with pytest.raises(ValueError):
+        check_arity(GateType.XOR, 3)
+    with pytest.raises(ValueError):
+        check_arity(GateType.NOT, 2)
+    with pytest.raises(ValueError):
+        check_arity(GateType.CONST0, 1)
+
+
+@given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+def test_pattern_parallel_matches_scalar(a, b):
+    """Packed evaluation equals per-bit scalar evaluation for all 16 slots."""
+    width_mask = 2**16 - 1
+    for kind in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+                 GateType.XOR, GateType.XNOR):
+        packed = eval_gate(kind, (a, b), width_mask)
+        for k in range(16):
+            expected = eval_scalar(kind, ((a >> k) & 1, (b >> k) & 1))
+            assert (packed >> k) & 1 == expected
+
+
+@given(st.integers(0, 2**16 - 1))
+def test_not_respects_mask(a):
+    packed = eval_gate(GateType.NOT, (a,), 2**16 - 1)
+    assert packed == (~a) & (2**16 - 1)
+    assert packed >= 0
+
+
+def test_arity_table_covers_all_types():
+    assert set(ARITY) == set(GateType)

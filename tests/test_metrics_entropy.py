@@ -1,0 +1,105 @@
+"""Tests for entropy estimation and the controllability normalisation."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.entropy import (
+    combine_independent,
+    controllability_from_samples,
+    histogram_entropy,
+    per_bit_entropy,
+)
+
+
+def test_histogram_entropy_constant_is_zero():
+    assert histogram_entropy([7] * 100) == 0.0
+
+
+def test_histogram_entropy_uniform_two_values():
+    assert histogram_entropy([0, 1] * 50) == pytest.approx(1.0)
+
+
+def test_histogram_entropy_known_distribution():
+    # p = (1/2, 1/4, 1/4): H = 1.5 bits.
+    samples = [0] * 50 + [1] * 25 + [2] * 25
+    assert histogram_entropy(samples) == pytest.approx(1.5)
+
+
+def test_histogram_entropy_empty_rejected():
+    with pytest.raises(ValueError):
+        histogram_entropy([])
+
+
+def test_per_bit_entropy_constant_zero():
+    assert per_bit_entropy([0] * 64, 8) == 0.0
+    assert per_bit_entropy([0xFF] * 64, 8) == 0.0
+
+
+def test_per_bit_entropy_uniform_near_one():
+    rng = random.Random(5)
+    samples = [rng.randrange(1 << 18) for _ in range(4000)]
+    assert per_bit_entropy(samples, 18) > 0.97
+
+
+def test_per_bit_entropy_partial_randomness():
+    """Only the low 4 of 8 bits random -> C close to 0.5."""
+    rng = random.Random(9)
+    samples = [rng.randrange(16) for _ in range(4000)]
+    c = per_bit_entropy(samples, 8)
+    assert 0.45 < c < 0.55
+
+
+def test_per_bit_entropy_validates():
+    with pytest.raises(ValueError):
+        per_bit_entropy([], 4)
+    with pytest.raises(ValueError):
+        per_bit_entropy([1], 0)
+
+
+def test_controllability_exact_for_narrow():
+    samples = [0, 1, 2, 3] * 64
+    assert controllability_from_samples(samples, 2) == pytest.approx(1.0)
+
+
+def test_controllability_capped_at_one():
+    rng = random.Random(1)
+    samples = [rng.randrange(4) for _ in range(5000)]
+    assert controllability_from_samples(samples, 2) <= 1.0
+
+
+def test_controllability_wide_uses_per_bit():
+    rng = random.Random(2)
+    samples = [rng.randrange(1 << 18) for _ in range(500)]
+    # Exact histogram over 2^18 bins would be ~log2(500)/18 ≈ 0.5 — the
+    # per-bit path must report near-full controllability instead.
+    assert controllability_from_samples(samples, 18) > 0.9
+
+
+def test_combine_independent_paper_formula():
+    """C(X,Y) = (1/2n)(C(X)+C(Y)) for equal n-bit ports."""
+    assert combine_independent([(0.8, 18), (0.4, 18)]) == pytest.approx(0.6)
+
+
+def test_combine_independent_width_weighting():
+    # 18 random bits + 4 zero bits: (1.0*18 + 0*4)/22.
+    assert combine_independent([(1.0, 18), (0.0, 4)]) == pytest.approx(18 / 22)
+
+
+def test_combine_independent_validates():
+    with pytest.raises(ValueError):
+        combine_independent([])
+    with pytest.raises(ValueError):
+        combine_independent([(0.5, 0)])
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(0, 255), min_size=2, max_size=300))
+def test_entropy_bounds(samples):
+    h = histogram_entropy(samples)
+    assert 0.0 <= h <= 8.0
+    assert h <= math.log2(len(samples)) + 1e-9
+    c = per_bit_entropy(samples, 8)
+    assert 0.0 <= c <= 1.0

@@ -1,0 +1,43 @@
+"""Tests for truth-table (sum-of-products) logic generation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.simulator import CombSimulator
+from repro.rtl.decoder import make_truth_table_logic
+
+
+def test_simple_decoder():
+    table = {0: 0b01, 1: 0b10, 2: 0b11}
+    sim = CombSimulator(make_truth_table_logic(2, 2, table))
+    for value in range(4):
+        out = sim.evaluate_word({"in": value})
+        assert out["out"] == table.get(value, 0)
+
+
+def test_unspecified_rows_are_zero():
+    sim = CombSimulator(make_truth_table_logic(3, 4, {5: 0xF}))
+    for value in range(8):
+        out = sim.evaluate_word({"in": value})
+        assert out["out"] == (0xF if value == 5 else 0)
+
+
+def test_zero_rows_skipped():
+    """Rows mapping to zero need no minterm and behave like unspecified."""
+    nl_with = make_truth_table_logic(2, 1, {0: 0, 1: 1})
+    nl_without = make_truth_table_logic(2, 1, {1: 1})
+    assert nl_with.stats().n_gates == nl_without.stats().n_gates
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.dictionaries(st.integers(0, 31), st.integers(0, 2**10 - 1), max_size=32))
+def test_arbitrary_truth_tables(table):
+    sim = CombSimulator(make_truth_table_logic(5, 10, table))
+    for value in range(32):
+        out = sim.evaluate_word({"in": value})
+        assert out["out"] == table.get(value, 0)
+
+
+def test_row_out_of_range_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        make_truth_table_logic(2, 1, {4: 1})

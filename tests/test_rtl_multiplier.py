@@ -1,0 +1,70 @@
+"""Tests for the signed array multiplier against the reference model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._util import mask, to_signed
+from repro.logic.simulator import CombSimulator
+from repro.rtl.multiplier import make_multiplier, multiplier_reference
+
+
+@pytest.fixture(scope="module")
+def mult8():
+    return CombSimulator(make_multiplier(8, 18))
+
+
+def test_reference_model_signedness():
+    assert to_signed(multiplier_reference(0xFF, 0x01), 18) == -1
+    assert to_signed(multiplier_reference(0x80, 0x80), 18) == 128 * 128
+    assert to_signed(multiplier_reference(0x80, 0x7F), 18) == -128 * 127
+    assert multiplier_reference(0, 0xAB) == 0
+
+
+def test_corner_products(mult8):
+    corners = [0x00, 0x01, 0x7F, 0x80, 0xFF, 0x55, 0xAA]
+    for a in corners:
+        for b in corners:
+            out = mult8.evaluate_word({"a": a, "b": b})
+            assert out["p"] == multiplier_reference(a, b), (a, b)
+
+
+@settings(max_examples=60)
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_random_products(mult8, a, b):
+    out = mult8.evaluate_word({"a": a, "b": b})
+    assert out["p"] == multiplier_reference(a, b)
+
+
+def test_pattern_parallel_products(mult8):
+    a_words = [3, 250, 128, 127, 1, 0]
+    b_words = [3, 250, 128, 128, 255, 17]
+    result = mult8.run_bus(
+        {"a": a_words, "b": b_words}, n_patterns=len(a_words)
+    )
+    expected = [multiplier_reference(a, b) for a, b in zip(a_words, b_words)]
+    assert result["p"] == expected
+
+
+def test_sign_extension_to_18_bits(mult8):
+    out = mult8.evaluate_word({"a": 0xFF, "b": 0x01})  # -1 * 1 = -1
+    assert out["p"] == mask(18)
+
+
+def test_small_multiplier_exhaustive():
+    sim = CombSimulator(make_multiplier(4, 8))
+    for a in range(16):
+        for b in range(16):
+            out = sim.evaluate_word({"a": a, "b": b})
+            assert out["p"] == multiplier_reference(a, b, n=4, out_width=8)
+
+
+def test_bad_out_width_rejected():
+    with pytest.raises(ValueError):
+        make_multiplier(8, 15)
+
+
+def test_fault_universe_size_is_industrial():
+    """The 8x8 multiplier should have a gate count in the hundreds,
+    giving a stuck-at fault universe of the same order as the paper's 2162."""
+    stats = make_multiplier(8, 18).stats()
+    assert 400 <= stats.n_gates <= 2000

@@ -1,0 +1,90 @@
+"""Tests for the limiter (saturator) and truncater."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._util import mask, to_signed, to_unsigned
+from repro.logic.simulator import CombSimulator
+from repro.rtl.saturate import limiter_reference, make_limiter
+from repro.rtl.truncate import make_truncater, truncater_reference
+
+WORD18 = st.integers(0, mask(18))
+
+
+@pytest.fixture(scope="module")
+def limiter():
+    return CombSimulator(make_limiter())
+
+
+@pytest.fixture(scope="module")
+def truncater():
+    return CombSimulator(make_truncater())
+
+
+def test_limiter_reference_in_range():
+    # 1.0 in 10.8 (= 256) -> 1.0 in 4.4 (= 16)
+    assert limiter_reference(256) == 16
+    assert limiter_reference(0) == 0
+    # -1.0 in 10.8 -> -1.0 in 4.4 (0xF0)
+    assert limiter_reference(to_unsigned(-256, 18)) == 0xF0
+
+
+def test_limiter_reference_saturates():
+    big = to_unsigned(100 << 8, 18)  # +100.0, way past +7.9375
+    assert limiter_reference(big) == 0x7F
+    small = to_unsigned(-100 << 8, 18)
+    assert limiter_reference(small) == 0x80
+
+
+def test_limiter_reference_boundaries():
+    # Largest representable: 0x7F in 4.4 = 127/16; in 10.8 that's 127 << 4
+    assert limiter_reference(127 << 4) == 0x7F
+    assert limiter_reference((127 << 4) + 16) == 0x7F  # one LSB over -> clip
+    lowest = to_unsigned(-128 << 4, 18)
+    assert limiter_reference(lowest) == 0x80
+
+
+@settings(max_examples=80)
+@given(WORD18)
+def test_limiter_gate_level_matches(limiter, data):
+    out = limiter.evaluate_word({"data": data})
+    assert out["out"] == limiter_reference(data)
+
+
+def test_limiter_gate_level_corners(limiter):
+    for data in [0, 1, mask(18), 1 << 17, 127 << 4, (127 << 4) + 1,
+                 to_unsigned(-128 << 4, 18), to_unsigned((-128 << 4) - 1, 18)]:
+        out = limiter.evaluate_word({"data": data})
+        assert out["out"] == limiter_reference(data), data
+
+
+@given(WORD18)
+def test_limiter_output_never_exceeds_window(data):
+    out = limiter_reference(data)
+    assert 0 <= out <= 0xFF
+    signed = to_signed(out, 8)
+    assert -128 <= signed <= 127
+
+
+def test_limiter_bad_window_rejected():
+    with pytest.raises(ValueError):
+        make_limiter(in_width=12, out_width=8, frac_drop=4)
+
+
+def test_truncater_reference():
+    assert truncater_reference(0x3FFFF, 1) == 0x3FF00
+    assert truncater_reference(0x3FFFF, 0) == 0x3FFFF
+    assert truncater_reference(0x000FF, 1) == 0
+
+
+@settings(max_examples=60)
+@given(WORD18, st.integers(0, 1))
+def test_truncater_gate_level_matches(truncater, data, en):
+    out = truncater.evaluate_word({"data": data, "en": en})
+    assert out["out"] == truncater_reference(data, en)
+
+
+@given(WORD18)
+def test_truncate_is_idempotent(data):
+    once = truncater_reference(data, 1)
+    assert truncater_reference(once, 1) == once

@@ -1,0 +1,82 @@
+"""Tests for the 4-mode arithmetic shifter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._util import mask, to_signed, to_unsigned
+from repro.logic.simulator import CombSimulator
+from repro.rtl.shifter import SHIFT_MODES, make_shifter, shifter_reference
+
+WORD18 = st.integers(0, mask(18))
+
+
+@pytest.fixture(scope="module")
+def shifter18():
+    return CombSimulator(make_shifter(18, 4))
+
+
+def test_reference_pass_mode():
+    assert shifter_reference(0x2ABCD, 0x5, 0) == 0x2ABCD
+
+
+def test_reference_shift_by_amount():
+    assert shifter_reference(1, 3, 1) == 8
+    assert shifter_reference(1, 0, 1) == 1
+    # amt = -1 (0xF): arithmetic right by 1
+    assert shifter_reference(0b100, 0xF, 1) == 0b10
+    # negative data, arithmetic right keeps sign
+    neg = to_unsigned(-4, 18)
+    assert to_signed(shifter_reference(neg, 0xF, 1), 18) == -2
+
+
+def test_reference_fixed_modes():
+    assert shifter_reference(0b011, 0, 2) == 0b110
+    neg = to_unsigned(-8, 18)
+    assert to_signed(shifter_reference(neg, 0, 3), 18) == -4
+
+
+def test_gate_level_matches_reference_corners(shifter18):
+    data_corners = [0, 1, mask(18), 1 << 17, 0x15555, 0x2AAAA, 0x00FF0]
+    for data in data_corners:
+        for amt in range(16):
+            for mode in range(4):
+                out = shifter18.evaluate_word(
+                    {"data": data, "amt": amt, "mode": mode}
+                )
+                assert out["out"] == shifter_reference(data, amt, mode), (
+                    data, amt, mode,
+                )
+
+
+@settings(max_examples=60)
+@given(WORD18, st.integers(0, 15), st.integers(0, 3))
+def test_gate_level_matches_reference_random(shifter18, data, amt, mode):
+    out = shifter18.evaluate_word({"data": data, "amt": amt, "mode": mode})
+    assert out["out"] == shifter_reference(data, amt, mode)
+
+
+def test_shift_by_minus_eight(shifter18):
+    """amt = -8 is the most negative amount; everything becomes sign."""
+    neg = 1 << 17
+    out = shifter18.evaluate_word({"data": neg, "amt": 0x8, "mode": 1})
+    expected = to_unsigned(to_signed(neg, 18) >> 8, 18)
+    assert out["out"] == expected
+
+
+def test_left_shift_overflow_drops_bits():
+    assert shifter_reference(mask(18), 7, 1) == (mask(18) << 7) & mask(18)
+
+
+def test_mode_labels():
+    assert SHIFT_MODES == {0: "00", 1: "01", 2: "10", 3: "11"}
+
+
+def test_bad_mode_rejected():
+    with pytest.raises(ValueError):
+        shifter_reference(0, 0, 4)
+
+
+def test_shifter_fault_universe_size():
+    """Comparable order to the paper's 2028 shifter faults."""
+    stats = make_shifter(18, 4).stats()
+    assert 300 <= stats.n_gates <= 2500

@@ -1,0 +1,73 @@
+"""Tests for fault-simulation-driven program compaction."""
+
+import pytest
+
+from repro.bist.template import RandomLoad
+from repro.dsp.isa import Instruction, Opcode
+from repro.faults.hierarchical import DspFaultUniverse
+from repro.selftest.compaction import (
+    attribute_detections,
+    compact_program,
+)
+from repro.selftest.program import TestProgram
+
+
+def small_universe_factory():
+    return DspFaultUniverse(components=["mux7", "macreg", "buffer"],
+                            include_regfile=False)
+
+
+def program_with_dead_line():
+    program = TestProgram()
+    program.add(RandomLoad(0))
+    program.add(RandomLoad(1))
+    program.add(Instruction(Opcode.MPYA, rega=0, regb=1, dest=2))
+    program.add(Instruction(Opcode.OUT, regb=2))
+    # A NOP contributes nothing and should be compacted away.
+    program.add(Instruction(Opcode.NOP), comment="padding")
+    return program
+
+
+def test_attribute_detections_windows():
+    # loop of 5; detection at cycle 7 credits lines 3..7 mod 5.
+    credit = attribute_detections({"f": 7}, loop_length=5)
+    assert set(credit) == {3, 4, 0, 1, 2}
+    # one-shot prologue shifts attribution.
+    credit = attribute_detections({"f": 9}, loop_length=5, n_one_shot=2)
+    assert set(credit) == {3, 4, 0, 1, 2}
+
+
+def test_attribute_skips_undetected_and_one_shot_hits():
+    credit = attribute_detections({"a": None, "b": 1},
+                                  loop_length=4, n_one_shot=3)
+    assert credit == {}
+
+
+def test_compaction_removes_dead_nop():
+    program = program_with_dead_line()
+    result = compact_program(program, n_iterations=12,
+                             universe_factory=small_universe_factory)
+    assert result.lines_saved >= 1
+    removed_ops = {line.item.opcode for line in result.removed
+                   if isinstance(line.item, Instruction)}
+    assert Opcode.NOP in removed_ops
+    # Verified: coverage must not drop.
+    assert result.compacted_coverage >= result.original_coverage - 1e-9
+    assert "compaction:" in result.summary()
+
+
+def test_compaction_preserves_load_and_out_lines():
+    program = program_with_dead_line()
+    result = compact_program(program, n_iterations=12,
+                             universe_factory=small_universe_factory)
+    kept_kinds = [
+        line.item.opcode if isinstance(line.item, Instruction) else "rnd"
+        for line in result.compacted.loop_lines
+    ]
+    assert "rnd" in kept_kinds
+    assert Opcode.OUT in kept_kinds
+
+
+def test_compaction_rejects_empty_program():
+    with pytest.raises(ValueError):
+        compact_program(TestProgram(), 5)

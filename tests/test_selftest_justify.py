@@ -1,0 +1,125 @@
+"""Tests for operand justification (ATPG pattern delivery)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._util import to_signed
+from repro.atpg.podem import Podem
+from repro.dsp.core import DspCore
+from repro.faults.combsim import CombFaultSimulator
+from repro.faults.model import collapse_faults
+from repro.rtl.arith import make_addsub
+from repro.selftest.justify import (
+    factor_product,
+    justify_accumulator,
+    oneshot_detects,
+    synthesize_addsub_oneshot,
+)
+
+
+def test_factor_product_basics():
+    assert factor_product(0) == (0, 0)
+    a, b = factor_product(1)
+    assert to_signed(a, 8) * to_signed(b, 8) == 1
+    a, b = factor_product(-128)
+    assert to_signed(a, 8) * to_signed(b, 8) == -128
+    a, b = factor_product(16384)  # (-128) * (-128)
+    assert to_signed(a, 8) * to_signed(b, 8) == 16384
+
+
+def test_factor_product_out_of_range():
+    assert factor_product(20000) is None
+    assert factor_product(-17000) is None
+
+
+def test_factor_product_large_prime_unreachable():
+    # 16381 is prime and > 127, so no signed-byte factorisation exists.
+    assert factor_product(16381) is None
+
+
+@settings(max_examples=120)
+@given(st.integers(-16256, 16384))
+def test_factor_product_correct_when_found(p):
+    result = factor_product(p)
+    if result is not None:
+        a, b = result
+        assert to_signed(a, 8) * to_signed(b, 8) == p
+
+
+def test_justify_accumulator_exact():
+    rng = random.Random(6)
+    for _ in range(30):
+        target = rng.randrange(1 << 18)
+        sequence = justify_accumulator(target, acc="A")
+        assert sequence is not None, hex(target)
+        core = DspCore()
+        core.run_program(sequence)
+        assert core.state.acc_a == target, hex(target)
+
+
+def test_justify_accumulator_b_side():
+    sequence = justify_accumulator(0x2ABCD, acc="B")
+    assert sequence is not None
+    core = DspCore()
+    core.run_program(sequence)
+    assert core.state.acc_b == 0x2ABCD
+    assert core.state.acc_a != 0x2ABCD
+
+
+def test_justify_accumulator_validates():
+    with pytest.raises(ValueError):
+        justify_accumulator(0, acc="C")
+
+
+def test_justify_sequences_are_short():
+    """The paper's one-shot cost: ~21 lines per pattern; our prologue must
+    stay within the same order."""
+    rng = random.Random(9)
+    lengths = []
+    for _ in range(20):
+        sequence = justify_accumulator(rng.randrange(1 << 18))
+        assert sequence is not None
+        lengths.append(len(sequence))
+    assert max(lengths) <= 12
+
+
+@pytest.fixture(scope="module")
+def addsub_env():
+    netlist = make_addsub(18)
+    return netlist, CombFaultSimulator(netlist), Podem(netlist, 4000)
+
+
+def test_synthesized_oneshot_detects(addsub_env):
+    netlist, sim, engine = addsub_env
+    made = 0
+    for fault in collapse_faults(netlist).faults[::35]:
+        result = engine.generate(fault)
+        if not result.detected:
+            continue
+        sequence = synthesize_addsub_oneshot(
+            fault, result.pattern_words(netlist), sim
+        )
+        if sequence is None:
+            continue
+        # synthesize verifies detection internally; double-check here.
+        instructions = [line.item for line in sequence.lines]
+        assert oneshot_detects(fault, instructions, sim)
+        assert all(not line.in_loop for line in sequence.lines)
+        made += 1
+    assert made >= 3
+
+
+def test_oneshot_rejects_unobservable(addsub_env):
+    """A pattern whose error cannot reach the port yields None, not a
+    bogus sequence."""
+    netlist, sim, engine = addsub_env
+    # Fabricate an impossible pattern: b-side value outside the product
+    # range cannot be justified.
+    from repro.faults.model import Fault
+    fault = collapse_faults(netlist).faults[0]
+    sequence = synthesize_addsub_oneshot(
+        fault, {"a": 0, "b": 0x20000, "sub": 0}, sim
+    )
+    assert sequence is None

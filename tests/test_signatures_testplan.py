@@ -1,0 +1,113 @@
+"""Tests for interval signatures and test planning."""
+
+import pytest
+
+from repro.bist.signatures import (
+    IntervalSignatures,
+    aliasing_probability,
+    diagnose_interval,
+    interval_signatures,
+)
+from repro.selftest.testplan import (
+    TestPlan,
+    iterations_for_target,
+    paper_plan,
+    plan_for_target,
+)
+
+
+def test_interval_signature_counts():
+    sigs = interval_signatures(list(range(100)), interval=16)
+    assert len(sigs.signatures) == 7  # 6 full + 1 tail
+    exact = interval_signatures(list(range(96)), interval=16)
+    assert len(exact.signatures) == 6
+
+
+def test_interval_validates():
+    with pytest.raises(ValueError):
+        interval_signatures([1, 2], interval=0)
+
+
+def test_first_failing_interval_brackets_error():
+    stream = list(range(80))
+    golden = interval_signatures(stream, interval=10)
+    corrupted = list(stream)
+    corrupted[37] ^= 0x40
+    observed = interval_signatures(corrupted, interval=10)
+    index = golden.first_failing_interval(observed)
+    assert index == 3  # cycle 37 lies in interval [30, 40)
+    assert diagnose_interval(golden, observed) == (30, 40)
+
+
+def test_clean_stream_diagnoses_none():
+    stream = [5] * 40
+    golden = interval_signatures(stream, interval=8)
+    assert diagnose_interval(golden, interval_signatures(stream, 8)) is None
+
+
+def test_error_persists_in_later_signatures():
+    """The MISR is not reset per interval, so every signature after the
+    corruption differs (no re-aliasing back to clean, generically)."""
+    stream = list(range(64))
+    corrupted = list(stream)
+    corrupted[5] ^= 0x01
+    golden = interval_signatures(stream, interval=8)
+    observed = interval_signatures(corrupted, interval=8)
+    diffs = [a != b for a, b in zip(golden.signatures, observed.signatures)]
+    assert diffs[0] is True
+    assert sum(diffs) >= len(diffs) - 1
+
+
+def test_mismatched_schemes_rejected():
+    a = interval_signatures([1, 2, 3], 2)
+    b = interval_signatures([1, 2, 3], 3)
+    with pytest.raises(ValueError):
+        a.first_failing_interval(b)
+
+
+def test_aliasing_probability():
+    assert aliasing_probability(8) == pytest.approx(2 ** -8)
+    assert aliasing_probability(8, 2) == pytest.approx(2 ** -16)
+    with pytest.raises(ValueError):
+        aliasing_probability(0)
+
+
+# ----------------------------------------------------------------------
+# Test plans
+# ----------------------------------------------------------------------
+def test_paper_plan_numbers():
+    plan = paper_plan()
+    assert plan.n_vectors == 204000
+    assert plan.test_time_seconds == pytest.approx(0.408e-3)
+    assert "0.408 ms" in plan.describe()
+
+
+def test_plan_with_one_shots():
+    plan = TestPlan(program_length=30, n_iterations=10, n_one_shot=21)
+    assert plan.n_vectors == 321
+    assert "one-shot" in plan.describe()
+
+
+def test_iterations_for_target():
+    # 100 faults, detected linearly over 1000 vectors, program length 20.
+    first_detect = {f"f{i}": i * 10 for i in range(100)}
+    iterations = iterations_for_target(first_detect, 1000, 20, 0.5)
+    # 50% coverage needs ~500 vectors = 25 iterations.
+    assert 24 <= iterations <= 27
+    assert iterations_for_target(first_detect, 1000, 20, 1.0) is not None
+    none_reachable = {f"f{i}": None for i in range(10)}
+    assert iterations_for_target(none_reachable, 100, 5, 0.5) is None
+
+
+def test_iterations_for_target_validates():
+    with pytest.raises(ValueError):
+        iterations_for_target({}, 10, 5, 0.0)
+
+
+def test_plan_for_target_builds_plan():
+    first_detect = {f"f{i}": i for i in range(50)}
+    plan = plan_for_target(first_detect, 100, 10, 0.9, clock_hz=100e6)
+    assert plan is not None
+    assert plan.n_iterations >= 5
+    assert plan.clock_hz == 100e6
+    assert plan_for_target({"a": None}, 10, 5, 0.9) is None

@@ -11,12 +11,10 @@ fault coverage.
 
 from repro.atpg.podem import Podem
 from repro.faults.coverage import coverage_curve
-from repro.faults.hierarchical import (
-    ComponentFault,
-    HierarchicalFaultSimulator,
-)
+from repro.faults.hierarchical import ComponentFault
 from repro.harness.experiments import REGISTRY, ExperimentResult, scaled
 from repro.harness.reporting import format_curve
+from repro.runtime.campaigns import HierarchicalCampaign
 from repro.selftest.vectors import expand_program
 
 
@@ -41,10 +39,11 @@ def test_selftest_fault_coverage(benchmark, selftest):
     iterations = scaled(40, 400, 6000)
     words = expand_program(selftest.program, iterations)
 
-    result = benchmark.pedantic(
-        lambda: HierarchicalFaultSimulator().run(words),
+    outcome = benchmark.pedantic(
+        lambda: HierarchicalCampaign(words).run(),
         rounds=1, iterations=1,
     )
+    result = outcome.result
     report = result.coverage_report("self test")
     report.n_untestable = prove_untestable(result)
 
@@ -76,4 +75,5 @@ def test_selftest_fault_coverage(benchmark, selftest):
             f"{report.fault_coverage:.2%} FC / "
             f"{report.test_coverage:.2%} TC @ {len(words)} vectors"
         ),
+        campaign_counts=outcome.report.counts(),
     ))

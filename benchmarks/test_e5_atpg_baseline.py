@@ -11,20 +11,18 @@ below the self-test program's — dominated by aborts on faults whose
 excitation needs instruction sequences the gate-level view cannot see.
 """
 
-from repro.baselines.atpg_baseline import run_atpg_baseline
 from repro.harness.experiments import REGISTRY, ExperimentResult, scaled
+from repro.runtime.campaigns import AtpgBaselineCampaign
 
 
 def test_sequential_atpg_baseline(benchmark):
-    result = benchmark.pedantic(
-        run_atpg_baseline,
-        kwargs=dict(
-            n_frames=scaled(4, 5, 8),
-            backtrack_limit=scaled(40, 300, 1000),
-            fault_sample=scaled(8, 60, 300),
-        ),
-        rounds=1, iterations=1,
+    campaign = AtpgBaselineCampaign(
+        n_frames=scaled(4, 5, 8),
+        backtrack_limit=scaled(40, 300, 1000),
+        fault_sample=scaled(8, 60, 300),
     )
+    outcome = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+    result = outcome.result
 
     print()
     print(f"frames: {result.n_frames}, sampled faults: {result.n_faults}")
@@ -55,4 +53,5 @@ def test_sequential_atpg_baseline(benchmark):
             f"sample ({result.n_frames} frames; "
             f"{result.n_aborted} aborted)"
         ),
+        campaign_counts=outcome.report.counts(),
     ))

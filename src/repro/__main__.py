@@ -72,14 +72,21 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_grade(args) -> int:
-    from repro.faults.hierarchical import HierarchicalFaultSimulator
+    from repro.runtime.campaigns import HierarchicalCampaign
     from repro.selftest.vectors import expand_program
     selftest = _build_selftest(args)
     words = expand_program(selftest.program, args.iterations)
-    print(f"grading {len(words)} vectors ...")
-    result = HierarchicalFaultSimulator().run(words)
-    report = result.coverage_report("self test")
+    action = "resuming" if args.resume else "grading"
+    print(f"{action} {len(words)} vectors ...")
+    campaign = HierarchicalCampaign(
+        words,
+        checkpoint=args.checkpoint,
+        unit_timeout=args.unit_timeout,
+    )
+    outcome = campaign.run(resume=args.resume)
+    report = outcome.result.coverage_report("self test")
     print(report)
+    print(f"campaign: {outcome.report.summary()}")
     print(f"test time at 500 MHz: {report.test_time_seconds() * 1e3:.3f} ms")
     return 0
 
@@ -149,6 +156,17 @@ def build_parser() -> argparse.ArgumentParser:
         p_.add_argument("--save-table", metavar="FILE",
                         help="save the measured metrics table")
 
+    def add_campaign_options(p_):
+        p_.add_argument("--checkpoint", metavar="FILE",
+                        help="JSONL checkpoint file for the fault-grading "
+                             "campaign (written as units complete)")
+        p_.add_argument("--resume", action="store_true",
+                        help="skip units already recorded in --checkpoint")
+        p_.add_argument("--unit-timeout", type=float, metavar="SECONDS",
+                        help="wall-clock budget per grading unit; "
+                             "repeated timeouts degrade to behavioural "
+                             "simulation")
+
     p = sub.add_parser("metrics", help="print the Table 2 metrics")
     p.add_argument("--samples", type=int, default=150)
     p.add_argument("--good", type=int, default=8)
@@ -173,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--good", type=int, default=6)
     p.add_argument("--iterations", type=int, default=100)
     add_table_options(p)
+    add_campaign_options(p)
     p.set_defaults(func=_cmd_grade)
 
     p = sub.add_parser("constraints",
@@ -196,9 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.harness.experiments import current_scale
+    from repro.runtime.errors import ConfigError, ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        current_scale()  # fail fast on an invalid REPRO_SCALE
+        if getattr(args, "resume", False) and not args.checkpoint:
+            raise ConfigError("--resume requires --checkpoint")
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -23,14 +23,15 @@ def find_random_resistant(
     n_patterns: int = 4096,
     seed: int = 23,
     pattern_sampler=None,
+    rng: Optional[random.Random] = None,
 ) -> List[Fault]:
     """Faults of ``netlist`` not detected by ``n_patterns`` random patterns.
 
     ``pattern_sampler(rng) -> {bus: word}`` customises the distribution
     (e.g. restricting control modes); default is uniform on every input
-    bus.
+    bus.  ``rng`` overrides the default seed-derived stream.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     input_buses = [
         (name, nets) for name, nets in netlist.buses.items()
         if all(n in netlist.inputs for n in nets)

@@ -63,6 +63,8 @@ def run_atpg_baseline(
     seed: int = 5,
     random_phase_sequences: int = 1,
     random_phase_length: int = 32,
+    sample_rng: Optional[random.Random] = None,
+    random_phase_rng: Optional[random.Random] = None,
 ) -> AtpgBaselineResult:
     """Run the commercial-tool recipe on the flat core.
 
@@ -75,7 +77,8 @@ def run_atpg_baseline(
 
     ``fault_sample`` grades a deterministic random sample of the collapsed
     fault universe (the full list takes hours in pure Python); ``None``
-    targets every fault.
+    targets every fault.  ``sample_rng`` / ``random_phase_rng`` override
+    the default seed-derived streams for the two randomised stages.
     """
     core = netlist if netlist is not None else make_gatelevel_core()
     unrolled = unroll(core, n_frames)
@@ -83,7 +86,7 @@ def run_atpg_baseline(
 
     faults = list(collapse_faults(core).faults)
     if fault_sample is not None and fault_sample < len(faults):
-        rng = random.Random(seed)
+        rng = sample_rng if sample_rng is not None else random.Random(seed)
         faults = rng.sample(faults, fault_sample)
 
     # Random-pattern phase: raw word sequences from reset, fault-parallel.
@@ -91,7 +94,8 @@ def run_atpg_baseline(
     if random_phase_sequences > 0:
         from repro.faults.model import FaultList
         from repro.faults.seqsim import SeqFaultSimulator
-        rng = random.Random(seed + 1)
+        rng = random_phase_rng if random_phase_rng is not None \
+            else random.Random(seed + 1)
         sim = SeqFaultSimulator(
             core,
             fault_list=FaultList(netlist=core, faults=list(faults)),

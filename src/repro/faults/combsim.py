@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.runtime.errors import ConfigError
 from repro.logic.gates import eval_gate
 from repro.logic.netlist import Gate, Netlist
 from repro.logic.simulator import CombSimulator, pack_patterns, unpack_output
@@ -43,7 +44,7 @@ class CombFaultSimulator:
     def __init__(self, netlist: Netlist,
                  fault_list: Optional[FaultList] = None):
         if netlist.dffs:
-            raise ValueError(
+            raise ConfigError(
                 f"netlist {netlist.name!r} is sequential; use SeqFaultSimulator"
             )
         self.netlist = netlist
@@ -112,7 +113,7 @@ class CombFaultSimulator:
         """
         lengths = {len(w) for w in bus_patterns.values()}
         if len(lengths) != 1:
-            raise ValueError("all pattern buses must have equal length")
+            raise ConfigError("all pattern buses must have equal length")
         n_patterns = lengths.pop()
         good = self.good_values(bus_patterns, n_patterns)
         result: Dict[Fault, int] = {}

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+from repro.runtime.errors import ConfigError
 
 
 @dataclass
@@ -42,7 +43,7 @@ class CoverageReport:
     def test_time_seconds(self, clock_hz: float = 500e6) -> float:
         """Test application time at the paper's assumed 500 MHz clock."""
         if clock_hz <= 0:
-            raise ValueError("clock frequency must be positive")
+            raise ConfigError("clock frequency must be positive")
         return self.n_vectors / clock_hz
 
     def merged_with(self, other: "CoverageReport",

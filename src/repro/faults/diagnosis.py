@@ -33,6 +33,7 @@ from repro.faults.hierarchical import (
     StorageFault,
     storage_fault_core,
 )
+from repro.runtime.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -116,7 +117,7 @@ class FaultDiagnoser:
         is detected near the first mismatch (an out-of-model defect).
         """
         if len(observed) != len(self.words):
-            raise ValueError(
+            raise ConfigError(
                 f"observed response has {len(observed)} cycles, "
                 f"the diagnosis stream has {len(self.words)}"
             )

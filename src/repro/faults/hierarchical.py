@@ -33,11 +33,11 @@ fault simulation on the simple datapath.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro._util import mask
+from repro.runtime.errors import ConfigError
 from repro.dsp.components import COMPONENTS, ComponentSpec
 from repro.dsp.core import CoreState, DspCore
 from repro.dsp.isa import N_REGISTERS
@@ -81,6 +81,20 @@ class StorageFault:
 
 
 AnyFault = object  # ComponentFault | StorageFault
+
+
+def fault_unit_id(fault) -> str:
+    """A stable string key for a fault, usable as a campaign unit id.
+
+    Stable across processes (no object identity, no hash randomisation),
+    which is what lets a resumed campaign match checkpoint records back
+    to fault objects.
+    """
+    if isinstance(fault, ComponentFault):
+        return (f"comb:{fault.component}:{fault.fault.net}"
+                f":sa{fault.fault.stuck_at}")
+    target = "/".join(str(p) for p in fault.target)
+    return f"storage:{target}:{fault.kind}:{fault.bit}:sa{fault.stuck_at}"
 
 
 def _spec(name: str) -> ComponentSpec:
@@ -281,10 +295,62 @@ def _spread(items: List[int], k: int) -> List[int]:
 
 
 # ----------------------------------------------------------------------
+# The recorded fault-free trace
+# ----------------------------------------------------------------------
+@dataclass
+class TraceContext:
+    """The fault-free execution trace, recorded once and shared by every
+    grading unit.
+
+    Holds the clean output-port stream, the periodic core-state
+    checkpoints, and each combinational component's recorded input
+    stream per block.  Grading any single fault against this context is
+    an independent, idempotent operation — the decomposition the
+    resilient campaign runner builds on.
+    """
+
+    words: List[int]
+    clean_ports: List[int]
+    checkpoints: Dict[int, CoreState] = field(repr=False, default_factory=dict)
+    block_records: Dict[int, Dict[str, Dict]] = field(repr=False,
+                                                      default_factory=dict)
+    block_size: int = 256
+    _good_cache: Dict[Tuple[str, int], List[int]] = field(
+        repr=False, default_factory=dict)
+
+    @property
+    def block_starts(self) -> List[int]:
+        return sorted(self.block_records)
+
+    def block_end(self, block_start: int) -> int:
+        return min(block_start + self.block_size, len(self.words))
+
+    def good_values(self, sim: CombFaultSimulator, name: str,
+                    block_start: int) -> List[int]:
+        """The good-machine net values for one (component, block), cached
+        so grading many faults of the same component shares the work."""
+        key = (name, block_start)
+        if key not in self._good_cache:
+            rec = self.block_records[block_start][name]
+            self._good_cache[key] = sim.good_values(
+                rec["inputs"], len(rec["cycles"])
+            )
+        return self._good_cache[key]
+
+
+# ----------------------------------------------------------------------
 # The simulator
 # ----------------------------------------------------------------------
 class HierarchicalFaultSimulator:
-    """Grades the DSP core's fault universe against an instruction stream."""
+    """Grades the DSP core's fault universe against an instruction stream.
+
+    The work decomposes into :meth:`prepare` (one fault-free recording
+    pass) plus one independent grading call per fault
+    (:meth:`grade_comb_fault` / :meth:`grade_storage_fault`);
+    :meth:`run` simply executes every unit in order.  The campaign layer
+    (:mod:`repro.runtime.campaigns`) executes the same units with
+    checkpointing, timeouts and resume.
+    """
 
     def __init__(
         self,
@@ -297,7 +363,9 @@ class HierarchicalFaultSimulator:
     ):
         self.universe = universe if universe is not None else DspFaultUniverse()
         if block_size % checkpoint_every:
-            raise ValueError("block_size must be a multiple of checkpoint_every")
+            raise ConfigError(
+                "block_size must be a multiple of checkpoint_every"
+            )
         self.block_size = block_size
         self.checkpoint_every = checkpoint_every
         self.propagation_window = propagation_window
@@ -313,44 +381,46 @@ class HierarchicalFaultSimulator:
 
         ``storage_fault_max_cycles`` caps the differential run length for
         word-level storage faults (default: the full stream).
-        ``progress`` is called as ``progress(cycles_done, live_faults)``
-        after each block.
+        ``progress`` is called as ``progress(faults_done, faults_total)``
+        as grading advances.
         """
+        ctx = self.prepare(words)
         first_detect: Dict[object, Optional[int]] = {}
-        clean_ports = self._comb_pass(words, first_detect, progress)
-        self._storage_pass(words, clean_ports, first_detect,
-                           storage_fault_max_cycles)
+        total = sum(len(f) for f in self.universe.comb_faults.values()) \
+            + len(self.universe.storage_faults)
+        done = 0
+        for name, faults in self.universe.comb_faults.items():
+            for fault in faults:
+                first_detect[ComponentFault(name, fault)] = \
+                    self.grade_comb_fault(ctx, name, fault)
+            done += len(faults)
+            if progress is not None and faults:
+                progress(done, total)
+        for fault in self.universe.storage_faults:
+            first_detect[fault] = self.grade_storage_fault(
+                ctx, fault, storage_fault_max_cycles
+            )
+        if progress is not None and self.universe.storage_faults:
+            progress(total, total)
         return HierarchicalResult(
             first_detect=first_detect, n_vectors=len(words),
             universe=self.universe,
         )
 
     # ------------------------------------------------------------------
-    def _comb_pass(self, words: List[int],
-                   first_detect: Dict[object, Optional[int]],
-                   progress) -> List[int]:
-        """Local detection + propagation for combinational faults.
-
-        Returns the fault-free output-port stream (reused by the storage
-        pass).
-        """
-        live: Dict[str, List[Fault]] = {
-            name: list(faults)
-            for name, faults in self.universe.comb_faults.items()
-        }
-        for name, faults in live.items():
-            for fault in faults:
-                first_detect[ComponentFault(name, fault)] = None
-
+    def prepare(self, words: List[int]) -> TraceContext:
+        """One fault-free pass: record ports, checkpoints and per-block
+        component input streams."""
+        names = list(self.universe.comb_faults)
         core = DspCore()
         clean_ports: List[int] = []
+        checkpoints: Dict[int, CoreState] = {}
+        block_records: Dict[int, Dict[str, Dict]] = {}
         n = len(words)
         for block_start in range(0, n, self.block_size):
             block_words = words[block_start:block_start + self.block_size]
-            checkpoints: Dict[int, CoreState] = {}
             records: Dict[str, Dict] = {
-                name: {"cycles": [], "inputs": {}}
-                for name in live
+                name: {"cycles": [], "inputs": {}} for name in names
             }
             for offset, word in enumerate(block_words):
                 t = block_start + offset
@@ -358,7 +428,7 @@ class HierarchicalFaultSimulator:
                     checkpoints[t] = core.state.copy()
                 trace: Dict = {}
                 clean_ports.append(core.step(word, trace=trace).port)
-                for name in live:
+                for name in names:
                     activity = trace.get(name)
                     if activity is None:
                         continue
@@ -366,72 +436,72 @@ class HierarchicalFaultSimulator:
                     rec["cycles"].append(t)
                     for port, value in activity.inputs.items():
                         rec["inputs"].setdefault(port, []).append(value)
+            block_records[block_start] = records
+        return TraceContext(
+            words=words, clean_ports=clean_ports, checkpoints=checkpoints,
+            block_records=block_records, block_size=self.block_size,
+        )
 
-            for name in list(live):
-                if not live[name]:
-                    continue
-                rec = records[name]
-                if not rec["cycles"]:
-                    continue
-                self._grade_component_block(
-                    name, live, rec, words, checkpoints,
-                    clean_ports, first_detect,
-                )
-            if progress is not None:
-                progress(min(block_start + self.block_size, n),
-                         sum(len(f) for f in live.values()))
-        return clean_ports
+    # ------------------------------------------------------------------
+    def grade_comb_fault(self, ctx: TraceContext, name: str, fault: Fault,
+                         continuous: bool = True) -> Optional[int]:
+        """First cycle at which ``fault`` is detected, or ``None``.
 
-    def _grade_component_block(self, name, live, rec, words, checkpoints,
-                               clean_ports, first_detect) -> None:
+        ``continuous=False`` skips the tier-2 gate-level continuous
+        injection — the purely behavioural mode the campaign runner
+        degrades to when the exact check repeatedly times out.
+        """
         from repro.logic.simulator import unpack_output
 
         sim = self.universe.comb_simulators[name]
         spec = _spec(name)
-        cycles: List[int] = rec["cycles"]
-        n_patterns = len(cycles)
-        good = sim.good_values(rec["inputs"], n_patterns)
         output_nets = sim.netlist.buses[spec.output_bus]
-        still: List[Fault] = []
-        for fault in live[name]:
+        for block_start in ctx.block_starts:
+            rec = ctx.block_records[block_start].get(name)
+            if rec is None or not rec["cycles"]:
+                continue
+            cycles: List[int] = rec["cycles"]
+            n_patterns = len(cycles)
+            good = ctx.good_values(sim, name, block_start)
             detected_mask, changed = sim.simulate_fault(fault, good,
                                                         n_patterns)
-            found = False
-            if detected_mask:
-                output_bits = [changed.get(n, good[n])
-                               for n in output_nets]
-                # Tier 1 — cheap single-cycle injections.  Spread the start
-                # attempts across the block: consecutive excitations usually
-                # sit in the same loop context, so retrying the immediate
-                # neighbour rarely helps.
-                indices = _set_bit_positions(detected_mask)
-                for idx in _spread(indices, self.max_starts_per_block):
-                    faulty_word = unpack_output(output_bits, idx)
+            if not detected_mask:
+                continue
+            # Propagation stays within the excitation's block, matching
+            # the original block-at-a-time grading exactly.
+            limit = ctx.block_end(block_start)
+            output_bits = [changed.get(n, good[n]) for n in output_nets]
+            # Tier 1 — cheap single-cycle injections.  Spread the start
+            # attempts across the block: consecutive excitations usually
+            # sit in the same loop context, so retrying the immediate
+            # neighbour rarely helps.
+            indices = _set_bit_positions(detected_mask)
+            for idx in _spread(indices, self.max_starts_per_block):
+                faulty_word = unpack_output(output_bits, idx)
+                t = cycles[idx]
+                if self._propagates(name, faulty_word, t, ctx, limit):
+                    return t
+            # Tier 2 — exact continuous injection (mixed-level): needed
+            # when single-cycle errors are masked, e.g. absorbed by
+            # limiter saturation until they accumulate in an accumulator.
+            if continuous:
+                for idx in _spread(indices, self.max_continuous_starts):
                     t = cycles[idx]
-                    if self._propagates(name, faulty_word, t, words,
-                                        checkpoints, clean_ports):
-                        first_detect[ComponentFault(name, fault)] = t
-                        found = True
-                        break
-                # Tier 2 — exact continuous injection (mixed-level): needed
-                # when single-cycle errors are masked, e.g. absorbed by
-                # limiter saturation until they accumulate in an
-                # accumulator.
-                if not found:
-                    for idx in _spread(indices, self.max_continuous_starts):
-                        t = cycles[idx]
-                        if self._propagates_continuous(
-                                name, spec, sim, fault, t, words,
-                                checkpoints, clean_ports):
-                            first_detect[ComponentFault(name, fault)] = t
-                            found = True
-                            break
-            if not found:
-                still.append(fault)
-        live[name] = still
+                    if self._propagates_continuous(name, spec, sim, fault,
+                                                   t, ctx, limit):
+                        return t
+        return None
 
-    def _propagates(self, name, faulty_word, t, words, checkpoints,
-                    clean_ports) -> bool:
+    def _fork_at(self, ctx: TraceContext, t: int) -> DspCore:
+        """A clean core replayed up to (not including) cycle ``t``."""
+        start = t - t % self.checkpoint_every
+        fork = DspCore(state=ctx.checkpoints[start].copy())
+        for cycle in range(start, t):
+            fork.step(ctx.words[cycle])
+        return fork
+
+    def _propagates(self, name, faulty_word, t, ctx: TraceContext,
+                    limit: int) -> bool:
         """Does the recorded faulty output at cycle ``t`` reach the port?
 
         The erroneous word — taken from the pattern-parallel local fault
@@ -440,51 +510,44 @@ class HierarchicalFaultSimulator:
         injection slightly under-approximates a persistent fault; multiple
         start cycles per block compensate.  See the module docstring.)
         """
-        start = max(c for c in checkpoints if c <= t)
-        fork = DspCore(state=checkpoints[start].copy())
-        # Replay cleanly up to (not including) cycle t.
-        for cycle in range(start, t):
-            fork.step(words[cycle])
-
-        end = min(len(words), len(clean_ports), t + self.propagation_window)
-        fork_port = fork.step(words[t], overrides={name: faulty_word}).port
-        if fork_port != clean_ports[t]:
+        fork = self._fork_at(ctx, t)
+        end = min(limit, t + self.propagation_window)
+        fork_port = fork.step(ctx.words[t],
+                              overrides={name: faulty_word}).port
+        if fork_port != ctx.clean_ports[t]:
             return True
         for cycle in range(t + 1, end):
-            if fork.step(words[cycle]).port != clean_ports[cycle]:
+            if fork.step(ctx.words[cycle]).port != ctx.clean_ports[cycle]:
                 return True
         return False
 
-    def _propagates_continuous(self, name, spec, sim, fault, t, words,
-                               checkpoints, clean_ports) -> bool:
+    def _propagates_continuous(self, name, spec, sim, fault, t,
+                               ctx: TraceContext, limit: int) -> bool:
         """Exact mixed-level check: the component's output is overridden
         *every* cycle of the window with its gate-level faulty evaluation
         under the fork's live inputs."""
-        start = max(c for c in checkpoints if c <= t)
-        fork = DspCore(state=checkpoints[start].copy())
-        for cycle in range(start, t):
-            fork.step(words[cycle])
+        fork = self._fork_at(ctx, t)
 
         def faulty_output(inputs: Dict[str, int]) -> int:
             return sim.faulty_output_word(fault, inputs, spec.output_bus)
 
         overrides = {name: faulty_output}
-        end = min(len(words), len(clean_ports), t + self.propagation_window)
+        end = min(limit, t + self.propagation_window)
         for cycle in range(t, end):
-            if fork.step(words[cycle], overrides=overrides).port \
-                    != clean_ports[cycle]:
+            if fork.step(ctx.words[cycle], overrides=overrides).port \
+                    != ctx.clean_ports[cycle]:
                 return True
         return False
 
     # ------------------------------------------------------------------
-    def _storage_pass(self, words, clean_ports, first_detect,
-                      max_cycles: Optional[int]) -> None:
-        limit = len(words) if max_cycles is None \
-            else min(max_cycles, len(words))
-        for fault in self.universe.storage_faults:
-            faulty = storage_fault_core(fault)
-            first_detect[fault] = None
-            for t in range(limit):
-                if faulty.step(words[t]).port != clean_ports[t]:
-                    first_detect[fault] = t
-                    break
+    def grade_storage_fault(self, ctx: TraceContext, fault: StorageFault,
+                            max_cycles: Optional[int] = None
+                            ) -> Optional[int]:
+        """Differential word-level run for one storage fault."""
+        limit = len(ctx.words) if max_cycles is None \
+            else min(max_cycles, len(ctx.words))
+        faulty = storage_fault_core(fault)
+        for t in range(limit):
+            if faulty.step(ctx.words[t]).port != ctx.clean_ports[t]:
+                return t
+        return None

@@ -19,6 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.logic.netlist import Netlist
 from repro.logic.sequential import SequentialSimulator
 from repro.faults.model import Fault, FaultList, collapse_faults
+from repro.runtime.errors import ConfigError
 
 
 @dataclass
@@ -46,7 +47,7 @@ class SeqFaultSimulator:
         self.netlist = netlist
         self.fault_list = fault_list or collapse_faults(netlist)
         if machines_per_pass < 1:
-            raise ValueError("machines_per_pass must be >= 1")
+            raise ConfigError("machines_per_pass must be >= 1")
         self.machines_per_pass = machines_per_pass
 
     def _force_masks(self, chunk: Sequence[Fault],
@@ -74,7 +75,7 @@ class SeqFaultSimulator:
         targets = list(faults if faults is not None else self.fault_list.faults)
         lengths = {len(seq) for seq in bus_sequences.values()}
         if len(lengths) != 1:
-            raise ValueError("all input sequences must have equal length")
+            raise ConfigError("all input sequences must have equal length")
         n_cycles = lengths.pop()
         first_detect: Dict[Fault, Optional[int]] = {f: None for f in targets}
 

@@ -5,6 +5,12 @@ value vs measured value) can be regenerated mechanically.  ``scaled``
 resolves per-experiment workload sizes: benchmarks default to laptop-scale
 runs and honour the ``REPRO_SCALE`` environment variable (e.g.
 ``REPRO_SCALE=full pytest benchmarks/``) for paper-scale vector counts.
+
+Benchmarks that execute through the resilient campaign runner
+(:mod:`repro.runtime`) also record their unit accounting — how many
+units completed normally, degraded to a cheaper backend, or were
+quarantined — so a benchmark row cannot silently hide a partially
+failed run.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.runtime.errors import ConfigError
+
 #: Workload presets: quick (CI), default (laptop), full (paper scale).
 SCALES = ("quick", "default", "full")
 
@@ -20,7 +28,7 @@ SCALES = ("quick", "default", "full")
 def current_scale() -> str:
     scale = os.environ.get("REPRO_SCALE", "default").lower()
     if scale not in SCALES:
-        raise ValueError(
+        raise ConfigError(
             f"REPRO_SCALE must be one of {SCALES}, got {scale!r}"
         )
     return scale
@@ -29,6 +37,21 @@ def current_scale() -> str:
 def scaled(quick: int, default: int, full: int) -> int:
     """Pick a workload size for the active ``REPRO_SCALE``."""
     return {"quick": quick, "default": default, "full": full}[current_scale()]
+
+
+def campaign_counts_note(counts: Optional[Dict[str, int]]) -> str:
+    """Human-readable unit accounting, e.g. ``"2 degraded, 1 quarantined"``.
+
+    Empty when every unit completed normally — clean runs stay clean in
+    the table.
+    """
+    if not counts:
+        return ""
+    parts = []
+    for key in ("degraded", "quarantined", "retried", "resumed"):
+        if counts.get(key):
+            parts.append(f"{counts[key]} {key}")
+    return ", ".join(parts)
 
 
 @dataclass
@@ -41,11 +64,16 @@ class ExperimentResult:
     measured_value: str         # what this run measured
     scale: str = field(default_factory=current_scale)
     details: str = ""
+    #: Unit accounting from ``CampaignReport.counts()`` when the
+    #: benchmark ran through the campaign runner.
+    campaign_counts: Optional[Dict[str, int]] = None
 
     def row(self) -> str:
+        note = campaign_counts_note(self.campaign_counts)
+        units = note if note else ("clean" if self.campaign_counts else "")
         return (f"| {self.experiment_id} | {self.description} | "
                 f"{self.paper_value} | {self.measured_value} | "
-                f"{self.scale} |")
+                f"{self.scale} | {units} |")
 
 
 class ExperimentRegistry:
@@ -58,9 +86,18 @@ class ExperimentRegistry:
         self.results[result.experiment_id] = result
         return result
 
+    def attach_campaign(self, experiment_id: str,
+                        counts: Dict[str, int]) -> None:
+        """Attach campaign unit accounting to an already recorded row."""
+        if experiment_id not in self.results:
+            raise ConfigError(
+                f"no experiment {experiment_id!r} recorded yet"
+            )
+        self.results[experiment_id].campaign_counts = dict(counts)
+
     def markdown_table(self) -> str:
-        header = ("| id | artefact | paper | measured | scale |\n"
-                  "|---|---|---|---|---|")
+        header = ("| id | artefact | paper | measured | scale | units |\n"
+                  "|---|---|---|---|---|---|")
         rows = [self.results[k].row() for k in sorted(self.results)]
         return "\n".join([header] + rows)
 

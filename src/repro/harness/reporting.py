@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple
+from repro.runtime.errors import ConfigError
 
 
 def format_table(headers: Sequence[str],
@@ -12,7 +13,7 @@ def format_table(headers: Sequence[str],
     widths = [len(h) for h in headers]
     for row in materialised:
         if len(row) != len(headers):
-            raise ValueError("row width does not match headers")
+            raise ConfigError("row width does not match headers")
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     def fmt(row):

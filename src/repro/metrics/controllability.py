@@ -23,6 +23,8 @@ from repro.dsp.components import COMPONENTS, component_by_name
 from repro.dsp.core import DspCore
 from repro.dsp.fixedpoint import ACC_WIDTH
 from repro.dsp.isa import Instruction, N_REGISTERS, Opcode, encode
+from repro.runtime.errors import ConfigError
+from repro.runtime.rng import RngFactory, resolve_factory
 
 #: Ports fixed by the opcode's control bits — never part of the entropy.
 CONTROL_PORTS = frozenset({"sel", "sub", "en", "mode", "q", "addr"})
@@ -43,8 +45,8 @@ class InstructionVariant:
 
     def __post_init__(self):
         if self.acc_state not in ("0", "R"):
-            raise ValueError(f"acc_state must be '0' or 'R', "
-                             f"got {self.acc_state!r}")
+            raise ConfigError(f"acc_state must be '0' or 'R', "
+                              f"got {self.acc_state!r}")
 
     @property
     def label(self) -> str:
@@ -159,11 +161,16 @@ def component_cycle(name: str) -> int:
 class ControllabilityEngine:
     """Estimates C for every (component, mode) column, per variant."""
 
-    def __init__(self, n_samples: int = 200, seed: int = 2004):
+    def __init__(self, n_samples: int = 200, seed: int = 2004,
+                 rng_factory: Optional[RngFactory] = None):
         if n_samples < 2:
-            raise ValueError("need at least 2 samples")
+            raise ConfigError("need at least 2 samples")
         self.n_samples = n_samples
         self.seed = seed
+        # Injected label->Random factory; the default derives one
+        # independent stream per variant from the seed, so measuring
+        # any subset of rows (or resuming a campaign) replays exactly.
+        self.rng_factory = resolve_factory(seed, rng_factory)
 
     def measure(self, variant: InstructionVariant) -> Dict[Tuple[str, int], float]:
         """Controllability per (component, mode) column for ``variant``.
@@ -176,7 +183,7 @@ class ControllabilityEngine:
             controllability_from_samples,
         )
 
-        rng = random.Random(f"{self.seed}:{variant.label}")
+        rng = self.rng_factory(variant.label)
         port_samples: Dict[Tuple[str, int], Dict[str, List[int]]] = {}
         for _ in range(self.n_samples):
             traces = trace_variant(variant, rng)

@@ -26,6 +26,8 @@ from repro.metrics.controllability import (
     component_cycle,
     prepare_core,
 )
+from repro.runtime.errors import ConfigError
+from repro.runtime.rng import RngFactory, resolve_factory
 
 _NOP_WORD = encode(Instruction(Opcode.NOP))
 
@@ -51,13 +53,16 @@ class ObservabilityEngine:
     """Estimates O for every (component, mode) column, per variant."""
 
     def __init__(self, n_good: int = 25, errors_per_bit: int = 2,
-                 window: int = 8, seed: int = 1977):
+                 window: int = 8, seed: int = 1977,
+                 rng_factory: Optional[RngFactory] = None):
         if n_good < 1:
-            raise ValueError("need at least one good simulation")
+            raise ConfigError("need at least one good simulation")
         self.n_good = n_good
         self.errors_per_bit = errors_per_bit
         self.window = window
         self.seed = seed
+        # Injected label->Random factory (see ControllabilityEngine).
+        self.rng_factory = resolve_factory(seed, rng_factory)
 
     # ------------------------------------------------------------------
     def _run_ports(self, core: DspCore, words: Sequence[int],
@@ -86,7 +91,7 @@ class ObservabilityEngine:
         (Phase 2 uses this to test candidate observation sequences, e.g.
         ``outa`` to expose an accumulator).
         """
-        rng = random.Random(f"{self.seed}:{variant.label}")
+        rng = self.rng_factory(variant.label)
         observed: Dict[Tuple[str, int], int] = {}
         injected: Dict[Tuple[str, int], int] = {}
 
@@ -171,4 +176,4 @@ def _set_state_element(state, state_key, value: int) -> None:
     elif kind == "reg":
         state.regs[state_key[1]] = value
     else:
-        raise ValueError(f"unknown state element {state_key!r}")
+        raise ConfigError(f"unknown state element {state_key!r}")

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.rng import derive_rng
 
 from repro.dsp.simple import (
     SIMPLE_COLUMNS,
@@ -62,10 +64,14 @@ def _prepared_core(variant: SimpleVariant, rng: random.Random) -> SimpleDspCore:
 
 
 def measure_simple_controllability(
-    variant: SimpleVariant, n_samples: int = 400, seed: int = 11
+    variant: SimpleVariant, n_samples: int = 400, seed: int = 11,
+    rng: Optional[random.Random] = None,
 ) -> Dict[Column, float]:
-    """C per (component, mode) column for one Table 1 row."""
-    rng = random.Random(f"{seed}:{variant.label}")
+    """C per (component, mode) column for one Table 1 row.
+
+    ``rng`` overrides the default per-variant seed-derived stream.
+    """
+    rng = rng if rng is not None else derive_rng(seed, variant.label)
     port_samples: Dict[Column, Dict[str, List[int]]] = {}
     for _ in range(n_samples):
         core = _prepared_core(variant, rng)
@@ -92,6 +98,7 @@ def measure_simple_controllability(
 def measure_simple_observability(
     variant: SimpleVariant, n_good: int = 50, errors_per_bit: int = 2,
     window: int = 4, seed: int = 13,
+    rng: Optional[random.Random] = None,
 ) -> Dict[Column, float]:
     """O per column: inject random errors, observe the output stream.
 
@@ -101,7 +108,7 @@ def measure_simple_observability(
     almost always observable, which is why Table 1's O column is 0.99
     everywhere except behind ``Clr``.
     """
-    rng = random.Random(f"{seed}:{variant.label}")
+    rng = rng if rng is not None else derive_rng(seed, variant.label)
     observed: Dict[Column, int] = {}
     injected: Dict[Column, int] = {}
     for _ in range(n_good):

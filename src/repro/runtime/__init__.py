@@ -1,0 +1,47 @@
+"""Resilient campaign runtime.
+
+Long-running workloads (hierarchical fault simulation, metric sampling,
+ATPG baselines) run as *campaigns* of idempotent work units with JSONL
+checkpointing, per-unit wall-clock timeouts, retry-with-backoff,
+quarantine of poisoned units and graceful degradation to cheaper
+backends.  See :mod:`repro.runtime.runner` for the execution model and
+:mod:`repro.runtime.campaigns` for the per-workload adapters.
+
+The package also owns the structured exception hierarchy
+(:class:`ReproError` and friends) used across the whole reproduction.
+"""
+
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.errors import (
+    CampaignError,
+    CheckpointCorruptError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    UnitTimeout,
+)
+from repro.runtime.rng import derive_rng, rng_factory
+from repro.runtime.runner import (
+    CampaignReport,
+    CampaignRunner,
+    UnitResult,
+    WorkUnit,
+    call_with_timeout,
+)
+
+__all__ = [
+    "CampaignError",
+    "CampaignReport",
+    "CampaignRunner",
+    "CheckpointCorruptError",
+    "CheckpointStore",
+    "ConfigError",
+    "ReproError",
+    "SimulationError",
+    "UnitResult",
+    "UnitTimeout",
+    "WorkUnit",
+    "call_with_timeout",
+    "derive_rng",
+    "rng_factory",
+]

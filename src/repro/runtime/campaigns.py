@@ -1,0 +1,499 @@
+"""Campaign adapters: the repo's expensive loops as resumable units.
+
+Each adapter decomposes one long-running workload into idempotent
+:class:`~repro.runtime.runner.WorkUnit`\\ s, hands them to a
+:class:`~repro.runtime.runner.CampaignRunner`, and reassembles the
+domain result object from the (possibly checkpoint-resumed) unit
+records:
+
+* :class:`HierarchicalCampaign` — per-fault grading of the DSP core
+  (wraps :class:`repro.faults.hierarchical.HierarchicalFaultSimulator`);
+* :class:`CombSimCampaign` — per-fault pattern-parallel combinational
+  grading (wraps :class:`repro.faults.combsim.CombFaultSimulator`);
+* :class:`MetricsCampaign` — per-instruction-variant C/O sampling
+  (wraps the :mod:`repro.metrics` engines);
+* :class:`AtpgBaselineCampaign` — per-fault time-frame PODEM attacks
+  (wraps :func:`repro.baselines.atpg_baseline.run_atpg_baseline`).
+
+Degradation policy: a hierarchical comb-fault unit that repeatedly
+times out retries without the tier-2 gate-level continuous injection
+(pure behavioural propagation); a metrics unit retries at reduced
+sample counts; a PODEM unit retries at a slashed backtrack budget.
+Degraded units are tagged in the campaign report and counted by the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.runner import CampaignReport, CampaignRunner, WorkUnit
+
+
+@dataclass
+class CampaignOutcome:
+    """Domain result + unit accounting of one campaign invocation."""
+
+    result: Any
+    report: CampaignReport
+
+
+def _default_runner(checkpoint, unit_timeout, runner) -> CampaignRunner:
+    if runner is not None:
+        return runner
+    return CampaignRunner(checkpoint=checkpoint, unit_timeout=unit_timeout)
+
+
+class _Lazy:
+    """Compute-once holder: expensive setup skipped on full resumes."""
+
+    def __init__(self, build):
+        self._build = build
+        self._value = None
+
+    def __call__(self):
+        if self._value is None:
+            self._value = self._build()
+        return self._value
+
+
+# ----------------------------------------------------------------------
+# Hierarchical core fault simulation
+# ----------------------------------------------------------------------
+class HierarchicalCampaign:
+    """Resumable hierarchical fault grading of the DSP core.
+
+    One unit per fault; the trace recording (``prepare``) runs lazily,
+    so resuming a finished campaign touches the checkpoint file only.
+    """
+
+    def __init__(
+        self,
+        words: Sequence[int],
+        simulator=None,
+        storage_fault_max_cycles: Optional[int] = None,
+        checkpoint: Optional[str] = None,
+        unit_timeout: Optional[float] = None,
+        runner: Optional[CampaignRunner] = None,
+    ):
+        from repro.faults.hierarchical import HierarchicalFaultSimulator
+        self.simulator = simulator if simulator is not None \
+            else HierarchicalFaultSimulator()
+        self.words = list(words)
+        self.storage_fault_max_cycles = storage_fault_max_cycles
+        self.runner = _default_runner(checkpoint, unit_timeout, runner)
+
+    def fingerprint(self) -> Dict[str, Any]:
+        sim = self.simulator
+        return {
+            "kind": "hierarchical",
+            "n_words": len(self.words),
+            "n_faults": len(self._fault_map()),
+            "block_size": sim.block_size,
+            "checkpoint_every": sim.checkpoint_every,
+            "propagation_window": sim.propagation_window,
+            "storage_fault_max_cycles": self.storage_fault_max_cycles,
+        }
+
+    def _fault_map(self) -> Dict[str, Any]:
+        from repro.faults.hierarchical import fault_unit_id
+        return {fault_unit_id(f): f
+                for f in self.simulator.universe.all_faults()}
+
+    def units(self) -> List[WorkUnit]:
+        from repro.faults.hierarchical import ComponentFault
+        sim = self.simulator
+        ctx = _Lazy(lambda: sim.prepare(self.words))
+        units: List[WorkUnit] = []
+        for unit_id, fault in self._fault_map().items():
+            if isinstance(fault, ComponentFault):
+                name, local = fault.component, fault.fault
+
+                def grade(name=name, local=local):
+                    return sim.grade_comb_fault(ctx(), name, local)
+
+                def grade_behavioural(name=name, local=local):
+                    return sim.grade_comb_fault(ctx(), name, local,
+                                                continuous=False)
+
+                units.append(WorkUnit(
+                    unit_id=unit_id, run=grade,
+                    fallback=grade_behavioural,
+                    meta={"component": name},
+                ))
+            else:
+                def grade_storage(fault=fault):
+                    return sim.grade_storage_fault(
+                        ctx(), fault, self.storage_fault_max_cycles
+                    )
+
+                units.append(WorkUnit(unit_id=unit_id, run=grade_storage))
+        return units
+
+    def run(self, resume: bool = False, repair: bool = False,
+            max_units: Optional[int] = None,
+            progress=None) -> CampaignOutcome:
+        from repro.faults.hierarchical import HierarchicalResult
+        report = self.runner.run(
+            self.units(), fingerprint=self.fingerprint(), resume=resume,
+            repair=repair, max_units=max_units, progress=progress,
+        )
+        fault_map = self._fault_map()
+        first_detect = {
+            fault_map[unit_id]: result.value
+            for unit_id, result in report.results.items()
+        }
+        result = HierarchicalResult(
+            first_detect=first_detect, n_vectors=len(self.words),
+            universe=self.simulator.universe,
+        )
+        return CampaignOutcome(result=result, report=report)
+
+
+# ----------------------------------------------------------------------
+# Combinational pattern-parallel fault simulation
+# ----------------------------------------------------------------------
+class CombSimCampaign:
+    """Per-fault resumable version of ``CombFaultSimulator.run_with_dropping``."""
+
+    def __init__(
+        self,
+        sim,
+        blocks: Sequence[Dict[str, List[int]]],
+        faults: Optional[Sequence] = None,
+        checkpoint: Optional[str] = None,
+        unit_timeout: Optional[float] = None,
+        runner: Optional[CampaignRunner] = None,
+    ):
+        self.sim = sim
+        self.blocks = list(blocks)
+        self.faults = list(faults if faults is not None
+                           else sim.fault_list.faults)
+        self.runner = _default_runner(checkpoint, unit_timeout, runner)
+        self._good: Dict[int, Tuple[List[int], int]] = {}
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {
+            "kind": "combsim",
+            "netlist": self.sim.netlist.name,
+            "n_blocks": len(self.blocks),
+            "n_faults": len(self.faults),
+        }
+
+    def _block_good(self, i: int) -> Tuple[List[int], int]:
+        if i not in self._good:
+            block = self.blocks[i]
+            n_patterns = len(next(iter(block.values())))
+            self._good[i] = (self.sim.good_values(block, n_patterns),
+                             n_patterns)
+        return self._good[i]
+
+    def _grade(self, fault) -> Optional[int]:
+        offset = 0
+        for i in range(len(self.blocks)):
+            good, n_patterns = self._block_good(i)
+            mask, _ = self.sim.simulate_fault(fault, good, n_patterns)
+            if mask:
+                return offset + (mask & -mask).bit_length() - 1
+            offset += n_patterns
+        return None
+
+    def units(self) -> List[WorkUnit]:
+        return [
+            WorkUnit(
+                unit_id=f"comb:{fault.net}:sa{fault.stuck_at}",
+                run=lambda fault=fault: self._grade(fault),
+            )
+            for fault in self.faults
+        ]
+
+    def run(self, resume: bool = False, repair: bool = False,
+            max_units: Optional[int] = None) -> CampaignOutcome:
+        report = self.runner.run(
+            self.units(), fingerprint=self.fingerprint(), resume=resume,
+            repair=repair, max_units=max_units,
+        )
+        by_id = {f"comb:{f.net}:sa{f.stuck_at}": f for f in self.faults}
+        first_detect = {
+            by_id[unit_id]: result.value
+            for unit_id, result in report.results.items()
+        }
+        return CampaignOutcome(result=first_detect, report=report)
+
+
+# ----------------------------------------------------------------------
+# Metrics-table sampling
+# ----------------------------------------------------------------------
+class MetricsCampaign:
+    """Per-instruction-variant resumable metrics-table measurement.
+
+    Each unit samples one variant's C and O columns; the assembled
+    result is the same :class:`~repro.metrics.table.MetricsTable` that
+    :func:`~repro.metrics.table.build_metrics_table` produces, because
+    every variant draws from its own label-derived RNG stream.
+    """
+
+    def __init__(
+        self,
+        variants=None,
+        columns=None,
+        n_controllability_samples: int = 150,
+        n_observability_good: int = 12,
+        seed: int = 2004,
+        checkpoint: Optional[str] = None,
+        unit_timeout: Optional[float] = None,
+        runner: Optional[CampaignRunner] = None,
+    ):
+        from repro.metrics.controllability import default_variants
+        from repro.dsp.components import all_columns
+        self.variants = list(variants) if variants is not None \
+            else default_variants()
+        self.columns = list(columns) if columns is not None \
+            else all_columns()
+        self.n_controllability_samples = n_controllability_samples
+        self.n_observability_good = n_observability_good
+        self.seed = seed
+        self.runner = _default_runner(checkpoint, unit_timeout, runner)
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {
+            "kind": "metrics",
+            "seed": self.seed,
+            "n_controllability_samples": self.n_controllability_samples,
+            "n_observability_good": self.n_observability_good,
+            "rows": [v.label for v in self.variants],
+        }
+
+    def _measure(self, variant, n_samples: int, n_good: int) -> Dict:
+        from repro.metrics.controllability import ControllabilityEngine
+        from repro.metrics.observability import ObservabilityEngine
+        c_values = ControllabilityEngine(
+            n_samples=n_samples, seed=self.seed
+        ).measure(variant)
+        o_values = ObservabilityEngine(
+            n_good=n_good, seed=self.seed + 1
+        ).measure(variant)
+        cells = {}
+        for column in self.columns:
+            if column in c_values or column in o_values:
+                key = f"{column[0]}|{column[1]}"
+                cells[key] = [c_values.get(column, 0.0),
+                              o_values.get(column, 0.0)]
+        return {"cells": cells}
+
+    def units(self) -> List[WorkUnit]:
+        units = []
+        for variant in self.variants:
+            def measure(variant=variant):
+                return self._measure(variant,
+                                     self.n_controllability_samples,
+                                     self.n_observability_good)
+
+            def measure_degraded(variant=variant):
+                return self._measure(
+                    variant,
+                    max(2, self.n_controllability_samples // 5), 1,
+                )
+
+            units.append(WorkUnit(
+                unit_id=f"variant:{variant.label}", run=measure,
+                fallback=measure_degraded,
+            ))
+        return units
+
+    def run(self, resume: bool = False, repair: bool = False,
+            max_units: Optional[int] = None) -> CampaignOutcome:
+        from repro.dsp.components import COMPONENTS
+        from repro.metrics.table import (
+            MetricsCell,
+            MetricsTable,
+            component_fault_count,
+        )
+        report = self.runner.run(
+            self.units(), fingerprint=self.fingerprint(), resume=resume,
+            repair=repair, max_units=max_units,
+        )
+        table = MetricsTable(
+            rows=self.variants,
+            columns=self.columns,
+            fault_counts={
+                spec.name: component_fault_count(spec)
+                for spec in COMPONENTS
+            },
+        )
+        for variant in self.variants:
+            result = report.results.get(f"variant:{variant.label}")
+            if result is None or not result.value:
+                continue
+            for key, (c, o) in result.value["cells"].items():
+                name, mode = key.rsplit("|", 1)
+                table.set_cell(variant, (name, int(mode)),
+                               MetricsCell(c=c, o=o))
+        return CampaignOutcome(result=table, report=report)
+
+
+# ----------------------------------------------------------------------
+# Sequential-ATPG baseline
+# ----------------------------------------------------------------------
+class AtpgBaselineCampaign:
+    """Per-fault resumable version of the sequential-ATPG baseline.
+
+    The cheap fault-parallel random phase runs as deterministic setup
+    (same seed, same survivors on every invocation); each surviving
+    fault's time-frame PODEM attack — the part that can run for minutes
+    and abort — is one unit.  A unit that times out degrades to a
+    slashed backtrack budget, mirroring how commercial flows cap effort
+    per fault.
+    """
+
+    def __init__(
+        self,
+        netlist=None,
+        n_frames: int = 6,
+        backtrack_limit: int = 400,
+        fault_sample: Optional[int] = 300,
+        seed: int = 5,
+        random_phase_sequences: int = 1,
+        random_phase_length: int = 32,
+        checkpoint: Optional[str] = None,
+        unit_timeout: Optional[float] = None,
+        runner: Optional[CampaignRunner] = None,
+    ):
+        self.netlist = netlist
+        self.n_frames = n_frames
+        self.backtrack_limit = backtrack_limit
+        self.fault_sample = fault_sample
+        self.seed = seed
+        self.random_phase_sequences = random_phase_sequences
+        self.random_phase_length = random_phase_length
+        self.runner = _default_runner(checkpoint, unit_timeout, runner)
+        self._setup = _Lazy(self._build_setup)
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {
+            "kind": "atpg-baseline",
+            "n_frames": self.n_frames,
+            "backtrack_limit": self.backtrack_limit,
+            "fault_sample": self.fault_sample,
+            "seed": self.seed,
+            "random_phase_sequences": self.random_phase_sequences,
+            "random_phase_length": self.random_phase_length,
+        }
+
+    def _build_setup(self) -> Dict[str, Any]:
+        from repro.atpg.podem import Podem
+        from repro.atpg.unroll import unroll
+        from repro.dsp.gatelevel import make_gatelevel_core
+        from repro.faults.model import FaultList, collapse_faults
+
+        core = self.netlist if self.netlist is not None \
+            else make_gatelevel_core()
+        unrolled = unroll(core, self.n_frames)
+        faults = list(collapse_faults(core).faults)
+        if self.fault_sample is not None and \
+                self.fault_sample < len(faults):
+            rng = random.Random(self.seed)
+            faults = rng.sample(faults, self.fault_sample)
+
+        random_detected = 0
+        survivors = list(faults)
+        if self.random_phase_sequences > 0:
+            from repro.faults.seqsim import SeqFaultSimulator
+            rng = random.Random(self.seed + 1)
+            sim = SeqFaultSimulator(
+                core, fault_list=FaultList(netlist=core,
+                                           faults=list(faults)),
+            )
+            for _ in range(self.random_phase_sequences):
+                if not survivors:
+                    break
+                stimulus = {"instr": [
+                    rng.randrange(1 << 17)
+                    for _ in range(self.random_phase_length)
+                ]}
+                outcome = sim.run_sequence(stimulus, faults=survivors)
+                survivors = outcome.undetected
+            random_detected = len(faults) - len(survivors)
+        return {
+            "core": core,
+            "unrolled": unrolled,
+            "engine": Podem(unrolled.netlist,
+                            backtrack_limit=self.backtrack_limit),
+            "survivors": survivors,
+            "random_detected": random_detected,
+            "instr_nets": [unrolled.frame_bus(frame, "instr")
+                           for frame in range(self.n_frames)],
+        }
+
+    def _attack(self, fault, backtrack_limit: Optional[int] = None) -> Dict:
+        from repro.atpg.podem import Podem
+        setup = self._setup()
+        engine = setup["engine"]
+        if backtrack_limit is not None:
+            engine = Podem(setup["unrolled"].netlist,
+                           backtrack_limit=backtrack_limit)
+        result = engine.generate_multi(
+            setup["unrolled"].fault_sites(fault)
+        )
+        record: Dict[str, Any] = {"status": result.status}
+        if result.detected:
+            frames = []
+            for nets in setup["instr_nets"]:
+                word = 0
+                for i, net in enumerate(nets):
+                    if result.pattern.get(net):
+                        word |= 1 << i
+                frames.append(word)
+            record["status"] = "detected"
+            record["frames"] = frames
+        return record
+
+    def units(self) -> List[WorkUnit]:
+        units = []
+        for fault in self._setup()["survivors"]:
+            unit_id = f"podem:{fault.net}:sa{fault.stuck_at}"
+
+            def attack(fault=fault):
+                return self._attack(fault)
+
+            def attack_degraded(fault=fault):
+                return self._attack(
+                    fault, backtrack_limit=max(10, self.backtrack_limit // 8)
+                )
+
+            units.append(WorkUnit(unit_id=unit_id, run=attack,
+                                  fallback=attack_degraded))
+        return units
+
+    def run(self, resume: bool = False, repair: bool = False,
+            max_units: Optional[int] = None) -> CampaignOutcome:
+        from repro.baselines.atpg_baseline import AtpgBaselineResult
+        report = self.runner.run(
+            self.units(), fingerprint=self.fingerprint(), resume=resume,
+            repair=repair, max_units=max_units,
+        )
+        setup = self._setup()
+        detected = untestable = aborted = 0
+        patterns: List[List[int]] = []
+        for result in report.results.values():
+            record = result.value or {}
+            status = record.get("status")
+            if status == "detected":
+                detected += 1
+                patterns.append(record.get("frames", []))
+            elif status == "untestable":
+                untestable += 1
+            else:
+                aborted += 1
+        result = AtpgBaselineResult(
+            n_faults=len(setup["survivors"]) + setup["random_detected"],
+            n_detected=detected + setup["random_detected"],
+            n_untestable_within_frames=untestable,
+            n_aborted=aborted,
+            n_frames=self.n_frames,
+            n_detected_random_phase=setup["random_detected"],
+            patterns=patterns,
+        )
+        return CampaignOutcome(result=result, report=report)

@@ -1,0 +1,147 @@
+"""JSON-lines campaign checkpoints with atomic writes.
+
+Layout: line 1 is a header identifying the campaign (kind, format
+version, a caller-supplied *fingerprint* of the workload), every later
+line is one completed work unit's result record.  The format supports
+the two operations a resilient runner needs:
+
+* **Append-only progress.**  Each completed unit is appended as one
+  ``json.dumps`` line and flushed + fsynced before the runner moves on,
+  so a kill at any instant loses at most the unit in flight.
+* **Corruption detection.**  A partial final line (the classic
+  kill-mid-write artefact) or non-JSON garbage raises
+  :class:`CheckpointCorruptError` on load; ``load(repair=True)``
+  instead truncates back to the last intact record and carries on.
+
+The header itself is written atomically (temp file + ``os.replace``), so
+a checkpoint either exists with a valid header or not at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.runtime.errors import CheckpointCorruptError
+
+HEADER_KIND = "repro-campaign-checkpoint"
+FORMAT_VERSION = 1
+
+
+class CheckpointStore:
+    """One campaign's JSONL checkpoint file."""
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def create(self, fingerprint: Optional[Dict] = None) -> Dict:
+        """Atomically write a fresh checkpoint containing only the header."""
+        header = {
+            "kind": HEADER_KIND,
+            "version": FORMAT_VERSION,
+            "fingerprint": fingerprint or {},
+        }
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        return header
+
+    # ------------------------------------------------------------------
+    def load(self, repair: bool = False) -> Tuple[Dict, Dict[str, Dict]]:
+        """Parse the checkpoint; returns ``(header, {unit_id: record})``.
+
+        Raises :class:`CheckpointCorruptError` on a missing/invalid
+        header, a non-JSON record line, or a truncated final line —
+        unless ``repair`` is set, in which case the bad tail is cut off
+        (on disk too) and every intact record is returned.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise CheckpointCorruptError(
+                f"cannot read checkpoint {self.path}: {exc}"
+            ) from exc
+
+        lines = raw.split("\n")
+        trailing_ok = lines and lines[-1] == ""
+        if trailing_ok:
+            lines = lines[:-1]
+        if not lines:
+            raise CheckpointCorruptError(f"checkpoint {self.path} is empty")
+
+        header = self._parse_header(lines[0])
+        records: Dict[str, Dict] = {}
+        good_bytes = len(lines[0]) + 1
+        for i, line in enumerate(lines[1:], start=2):
+            is_last = i == len(lines)
+            truncated = is_last and not trailing_ok
+            record = None
+            if not truncated:
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    record = None
+            if record is None or "unit" not in record:
+                if repair:
+                    self._truncate(good_bytes)
+                    break
+                reason = "truncated mid-write" if truncated \
+                    else "unparseable record"
+                raise CheckpointCorruptError(
+                    f"checkpoint {self.path} line {i}: {reason}"
+                )
+            records[record["unit"]] = record
+            good_bytes += len(line) + 1
+        return header, records
+
+    def _parse_header(self, line: str) -> Dict:
+        try:
+            header = json.loads(line)
+        except ValueError:
+            header = None
+        if not isinstance(header, dict) or \
+                header.get("kind") != HEADER_KIND:
+            raise CheckpointCorruptError(
+                f"checkpoint {self.path} has no valid header"
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise CheckpointCorruptError(
+                f"checkpoint {self.path} is format version "
+                f"{header.get('version')!r}, expected {FORMAT_VERSION}"
+            )
+        return header
+
+    def _truncate(self, n_bytes: int) -> None:
+        self.close()
+        with open(self.path, "r+", encoding="utf-8") as handle:
+            handle.truncate(n_bytes)
+
+    # ------------------------------------------------------------------
+    def append(self, record: Dict) -> None:
+        """Durably append one unit record (flush + fsync per record)."""
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,44 @@
+"""Structured exception hierarchy for the whole reproduction.
+
+Every error the package raises deliberately derives from
+:class:`ReproError`, so callers (the CLI, the campaign runner, the
+benchmark harness) can distinguish *our* failures from genuine Python
+bugs with one ``except`` clause.
+
+The configuration/simulation subclasses also inherit the builtin type
+they historically raised (``ValueError`` / ``RuntimeError``), so code
+written against the old bare exceptions keeps working.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration: bad parameter values, malformed inputs,
+    unknown names, inconsistent sizes."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation engine failed while executing an otherwise valid
+    workload (netlist inconsistency discovered mid-run, diverging
+    cross-check, unexpected component behaviour)."""
+
+
+class CampaignError(ReproError, RuntimeError):
+    """The campaign runner could not run or resume a campaign (unit id
+    collisions, fingerprint mismatch on resume, exhausted budget)."""
+
+
+class CheckpointCorruptError(CampaignError):
+    """A checkpoint file failed validation — truncated mid-write,
+    non-JSON garbage, or a header that does not match the campaign."""
+
+
+class UnitTimeout(ReproError):
+    """A work unit exceeded its wall-clock budget (internal signal used
+    by the campaign runner; quarantined/degraded units report it as a
+    string in their result record)."""

@@ -1,0 +1,319 @@
+"""The resilient campaign runner.
+
+A *campaign* is a long-running workload decomposed into idempotent
+:class:`WorkUnit`\\ s (one fault to grade, one instruction variant to
+sample, one PODEM target ...).  The runner executes the units in order
+and survives the failure modes that kill monolithic loops:
+
+* **Interruption** — each completed unit is checkpointed (JSONL, atomic
+  appends, see :mod:`repro.runtime.checkpoint`); ``resume=True`` skips
+  every unit already recorded and re-executes nothing.
+* **Hangs** — a per-unit wall-clock ``unit_timeout`` bounds each
+  attempt; the unit's thread is abandoned and the campaign moves on.
+* **Transient failures** — failed attempts are retried with exponential
+  backoff before giving up.
+* **Poisoned units** — a unit that fails every attempt is *quarantined*
+  (recorded, reported, skipped) instead of aborting the campaign.
+* **Graceful degradation** — a unit that exhausts its attempts may fall
+  back to a cheaper implementation (e.g. behavioural instead of
+  gate-level simulation); its result is tagged ``degraded``.
+
+Unit ``value``\\ s must be JSON-serialisable — they round-trip through
+the checkpoint file on resume.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.errors import (
+    CampaignError,
+    ReproError,
+    UnitTimeout,
+)
+
+#: Terminal unit statuses, in the order counts are reported.
+STATUSES = ("ok", "degraded", "quarantined")
+
+
+@dataclass
+class WorkUnit:
+    """One idempotent slice of a campaign."""
+
+    unit_id: str
+    run: Callable[[], Any]
+    #: Cheaper implementation used after repeated timeouts (optional).
+    fallback: Optional[Callable[[], Any]] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class UnitResult:
+    """Terminal outcome of one unit (what the checkpoint records)."""
+
+    unit_id: str
+    status: str                  # "ok" | "degraded" | "quarantined"
+    value: Any = None
+    attempts: int = 1
+    timeouts: int = 0
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    resumed: bool = False        # satisfied from the checkpoint, not re-run
+
+    def record(self) -> Dict[str, Any]:
+        return {
+            "unit": self.unit_id, "status": self.status,
+            "value": self.value, "attempts": self.attempts,
+            "timeouts": self.timeouts, "error": self.error,
+            "elapsed": round(self.elapsed, 6),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "UnitResult":
+        return cls(
+            unit_id=record["unit"], status=record.get("status", "ok"),
+            value=record.get("value"),
+            attempts=record.get("attempts", 1),
+            timeouts=record.get("timeouts", 0),
+            error=record.get("error"),
+            elapsed=record.get("elapsed", 0.0),
+            resumed=True,
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of one runner invocation."""
+
+    results: Dict[str, UnitResult] = field(default_factory=dict)
+    interrupted: bool = False    # stopped early (max_units cutoff)
+
+    def __getitem__(self, unit_id: str) -> UnitResult:
+        return self.results[unit_id]
+
+    def value(self, unit_id: str, default: Any = None) -> Any:
+        result = self.results.get(unit_id)
+        return default if result is None else result.value
+
+    @property
+    def n_executed(self) -> int:
+        return sum(1 for r in self.results.values() if not r.resumed)
+
+    @property
+    def n_resumed(self) -> int:
+        return sum(1 for r in self.results.values() if r.resumed)
+
+    @property
+    def n_retried(self) -> int:
+        return sum(1 for r in self.results.values() if r.attempts > 1)
+
+    def by_status(self, status: str) -> List[UnitResult]:
+        return [r for r in self.results.values() if r.status == status]
+
+    def counts(self) -> Dict[str, int]:
+        """The accounting row benchmarks and the CLI report."""
+        counts = {status: len(self.by_status(status)) for status in STATUSES}
+        counts.update(
+            total=len(self.results), executed=self.n_executed,
+            resumed=self.n_resumed, retried=self.n_retried,
+        )
+        return counts
+
+    def summary(self) -> str:
+        c = self.counts()
+        text = (f"{c['total']} units: {c['ok']} ok, "
+                f"{c['degraded']} degraded, {c['quarantined']} quarantined "
+                f"({c['resumed']} resumed, {c['retried']} retried)")
+        if self.interrupted:
+            text += " [interrupted]"
+        return text
+
+
+def call_with_timeout(fn: Callable[[], Any],
+                      timeout: Optional[float]) -> Any:
+    """Run ``fn`` bounded by ``timeout`` seconds of wall clock.
+
+    The attempt runs on a daemon thread; on expiry the thread is
+    abandoned (pure-Python work cannot be killed) and
+    :class:`UnitTimeout` is raised.  ``timeout=None`` runs inline.
+    """
+    if timeout is None:
+        return fn()
+    box: Dict[str, Any] = {}
+
+    def target():
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            box["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise UnitTimeout(f"unit exceeded {timeout:.3g}s wall clock")
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+class CampaignRunner:
+    """Executes campaigns of work units with checkpointing and recovery.
+
+    ``backoff_base * backoff_factor**k`` seconds are slept before retry
+    ``k+1`` (capped at ``backoff_max``); ``sleep`` is injectable so tests
+    can assert the schedule without waiting it out.
+    """
+
+    def __init__(
+        self,
+        checkpoint: Optional[str] = None,
+        unit_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 2.0,
+        fallback_timeout: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_retries < 0:
+            raise CampaignError("max_retries must be >= 0")
+        self.store = CheckpointStore(checkpoint) if checkpoint else None
+        self.unit_timeout = unit_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.fallback_timeout = fallback_timeout
+        self.sleep = sleep
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    def backoff_schedule(self) -> List[float]:
+        """The delays slept between attempts, in order."""
+        return [
+            min(self.backoff_base * self.backoff_factor ** k,
+                self.backoff_max)
+            for k in range(self.max_retries)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        fingerprint: Optional[Dict[str, Any]] = None,
+        resume: bool = False,
+        repair: bool = False,
+        retry_quarantined: bool = False,
+        max_units: Optional[int] = None,
+        progress: Optional[Callable[[UnitResult, int, int], None]] = None,
+    ) -> CampaignReport:
+        """Execute ``units``, honouring the checkpoint when resuming.
+
+        ``fingerprint`` identifies the workload; a resumed checkpoint
+        whose header fingerprint differs raises :class:`CampaignError`
+        (the checkpoint belongs to a different campaign).  ``max_units``
+        stops after that many fresh executions — the deterministic
+        stand-in for a kill signal in tests and for incremental runs.
+        """
+        units = list(units)
+        seen: set = set()
+        for unit in units:
+            if unit.unit_id in seen:
+                raise CampaignError(f"duplicate unit id {unit.unit_id!r}")
+            seen.add(unit.unit_id)
+
+        completed: Dict[str, Dict[str, Any]] = {}
+        if self.store is not None:
+            if resume and self.store.exists():
+                header, completed = self.store.load(repair=repair)
+                recorded = header.get("fingerprint") or {}
+                if fingerprint is not None and recorded != fingerprint:
+                    raise CampaignError(
+                        "checkpoint fingerprint mismatch: file has "
+                        f"{recorded!r}, campaign expects {fingerprint!r}"
+                    )
+            else:
+                self.store.create(fingerprint)
+
+        report = CampaignReport()
+        executed = 0
+        try:
+            for i, unit in enumerate(units):
+                record = completed.get(unit.unit_id)
+                if record is not None and (
+                        record.get("status") != "quarantined"
+                        or not retry_quarantined):
+                    report.results[unit.unit_id] = \
+                        UnitResult.from_record(record)
+                    continue
+                if max_units is not None and executed >= max_units:
+                    report.interrupted = True
+                    break
+                result = self._run_unit(unit)
+                executed += 1
+                report.results[unit.unit_id] = result
+                if self.store is not None:
+                    self.store.append(result.record())
+                if progress is not None:
+                    progress(result, i + 1, len(units))
+        finally:
+            if self.store is not None:
+                self.store.close()
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_unit(self, unit: WorkUnit) -> UnitResult:
+        started = self.clock()
+        timeouts = 0
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.sleep(self.backoff_schedule()[attempt - 1])
+            try:
+                value = call_with_timeout(unit.run, self.unit_timeout)
+                return UnitResult(
+                    unit_id=unit.unit_id, status="ok", value=value,
+                    attempts=attempt + 1, timeouts=timeouts,
+                    elapsed=self.clock() - started,
+                )
+            except UnitTimeout as exc:
+                timeouts += 1
+                last_error = exc
+            except ReproError as exc:
+                last_error = exc
+            except Exception as exc:  # noqa: BLE001 — quarantine, don't abort
+                last_error = exc
+
+        attempts = self.max_retries + 1
+        if unit.fallback is not None and timeouts:
+            # Repeated timeouts: degrade to the cheaper implementation.
+            try:
+                fallback_budget = self.fallback_timeout
+                value = call_with_timeout(unit.fallback, fallback_budget)
+                return UnitResult(
+                    unit_id=unit.unit_id, status="degraded", value=value,
+                    attempts=attempts + 1, timeouts=timeouts,
+                    error=_describe(last_error),
+                    elapsed=self.clock() - started,
+                )
+            except Exception as exc:  # noqa: BLE001
+                last_error = exc
+                attempts += 1
+        return UnitResult(
+            unit_id=unit.unit_id, status="quarantined", value=None,
+            attempts=attempts, timeouts=timeouts,
+            error=_describe(last_error),
+            elapsed=self.clock() - started,
+        )
+
+
+def _describe(exc: Optional[BaseException]) -> Optional[str]:
+    if exc is None:
+        return None
+    return f"{type(exc).__name__}: {exc}"

@@ -27,6 +27,7 @@ from repro.faults.hierarchical import (
 )
 from repro.selftest.program import ProgramLine, TestProgram
 from repro.selftest.vectors import expand_program
+from repro.runtime.errors import ConfigError
 
 #: Pipeline depth: a detection at cycle t is credited to the instruction
 #: fetched up to PIPELINE_WINDOW cycles earlier.
@@ -104,7 +105,7 @@ def compact_program(
     """
     loop_length = len(program.loop_lines)
     if loop_length == 0:
-        raise ValueError("program has no loop lines")
+        raise ConfigError("program has no loop lines")
     words = expand_program(program, n_iterations)
     baseline = HierarchicalFaultSimulator(
         universe=universe_factory()

@@ -31,6 +31,7 @@ from repro.faults.combsim import CombFaultSimulator
 from repro.faults.model import Fault
 from repro.selftest.phase3 import OneShotSequence
 from repro.selftest.program import ProgramLine
+from repro.runtime.errors import ConfigError
 
 #: Extreme signed-byte products reachable by one multiply.
 _MAX_PRODUCT = 128 * 128      # (-128) * (-128)
@@ -84,7 +85,7 @@ def justify_accumulator(value: int, acc: str = "A",
     found within the search budget.
     """
     if acc not in ("A", "B"):
-        raise ValueError("acc must be 'A' or 'B'")
+        raise ConfigError("acc must be 'A' or 'B'")
     target = to_signed(value, 18)
     mpy = Opcode.MPYA if acc == "A" else Opcode.MPYB
     mac = Opcode.MACA_ADD if acc == "A" else Opcode.MACB_ADD

@@ -27,6 +27,7 @@ from repro.dsp.components import ComponentSpec, component_by_name
 from repro.faults.combsim import CombFaultSimulator
 from repro.faults.model import Fault, collapse_faults
 from repro.selftest.program import ProgramLine, TestProgram
+from repro.runtime.errors import ConfigError
 
 Column = Tuple[str, int]
 
@@ -76,12 +77,14 @@ def constraint_study(
     constraints: Optional[Sequence[Sequence[int]]] = None,
     n_patterns: int = 2048,
     seed: int = 31,
+    rng_factory=None,
 ) -> List[ConstraintResult]:
     """The paper's §3.4 study: component fault coverage per mode constraint.
 
     ``constraints`` is a list of allowed-mode sets; the default reproduces
     the paper's five shifter cases (each single mode excluded, plus
-    "only 00 and 01").
+    "only 00 and 01").  ``rng_factory(allowed_modes) -> Random``
+    overrides the default per-constraint seed-derived streams.
     """
     spec = component_by_name(component)
     if constraints is None:
@@ -95,7 +98,8 @@ def constraint_study(
     sim = CombFaultSimulator(spec.netlist(), fault_list)
     results: List[ConstraintResult] = []
     for allowed in constraints:
-        rng = random.Random((seed, tuple(allowed)).__repr__())
+        rng = rng_factory(allowed) if rng_factory is not None \
+            else random.Random((seed, tuple(allowed)).__repr__())
         patterns = _random_port_patterns(spec, allowed, n_patterns, rng,
                                          mode_port)
         block = 256
@@ -173,7 +177,7 @@ def boost_frequency(program: TestProgram,
     ``out`` wrapper if it had one).  One-shot lines are untouched.
     """
     if repeats < 1:
-        raise ValueError("repeats must be >= 1")
+        raise ConfigError("repeats must be >= 1")
     boosted = TestProgram()
     lines = program.lines
     for i, line in enumerate(lines):

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.faults.coverage import coverage_curve
+from repro.runtime.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,7 @@ def iterations_for_target(
     target (loop longer or move to Phase 3).
     """
     if not 0 < target_coverage <= 1:
-        raise ValueError("target_coverage must be in (0, 1]")
+        raise ConfigError("target_coverage must be in (0, 1]")
     curve = coverage_curve(first_detect, n_vectors,
                            step=max(1, program_length))
     for vectors, coverage in curve:

@@ -46,6 +46,38 @@ def test_grade_command(capsys):
     assert "500 MHz" in out
 
 
+def test_grade_command_checkpoint_resume(tmp_path, capsys):
+    checkpoint = tmp_path / "grade.jsonl"
+    args = ["grade", "--samples", "30", "--good", "2", "--iterations", "2",
+            "--checkpoint", str(checkpoint)]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "campaign:" in out and "0 resumed" in out
+    assert checkpoint.exists()
+    # Resuming the finished campaign re-executes nothing.
+    assert main(args + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "resuming" in out
+    assert "0 quarantined" in out
+    assert "faults detected" in out
+
+
+def test_resume_requires_checkpoint(capsys):
+    assert main(["grade", "--resume"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "--checkpoint" in err
+
+
+def test_invalid_repro_scale_exits_cleanly(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SCALE", "bogus")
+    assert main(["isa"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "bogus" in err
+    assert "Traceback" not in err
+
+
 def test_constraints_command(capsys):
     assert main(["constraints", "--patterns", "512"]) == 0
     out = capsys.readouterr().out

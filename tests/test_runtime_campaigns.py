@@ -1,0 +1,223 @@
+"""Tests for the campaign adapters, including the kill-and-resume
+acceptance round trip on the hierarchical fault simulator."""
+
+import random
+
+import pytest
+
+from repro.bist.template import RandomLoad, TemplateArchitecture
+from repro.dsp.isa import Instruction, Opcode
+from repro.faults.hierarchical import (
+    DspFaultUniverse,
+    HierarchicalFaultSimulator,
+)
+from repro.runtime.errors import CampaignError
+from repro.runtime.campaigns import (
+    CombSimCampaign,
+    HierarchicalCampaign,
+    MetricsCampaign,
+)
+
+
+def small_universe():
+    return DspFaultUniverse(components=["mux7", "macreg"],
+                            include_regfile=False)
+
+
+def program_words(iterations=8):
+    program = [
+        RandomLoad(0), RandomLoad(1),
+        Instruction(Opcode.MPYA, rega=0, regb=1, dest=2),
+        Instruction(Opcode.OUT, regb=2),
+        Instruction(Opcode.OUTA),
+    ]
+    return TemplateArchitecture(program).expand(iterations)
+
+
+def make_campaign(words, checkpoint):
+    sim = HierarchicalFaultSimulator(universe=small_universe(),
+                                     block_size=32, checkpoint_every=16)
+    return HierarchicalCampaign(words, simulator=sim,
+                                checkpoint=checkpoint)
+
+
+def count_grading_calls(campaign):
+    """Instrument the campaign's simulator; returns the call log."""
+    calls = []
+    sim = campaign.simulator
+    real_comb = sim.grade_comb_fault
+    real_storage = sim.grade_storage_fault
+
+    def comb(ctx, name, fault, continuous=True):
+        calls.append(("comb", name, fault))
+        return real_comb(ctx, name, fault, continuous=continuous)
+
+    def storage(ctx, fault, max_cycles=None):
+        calls.append(("storage", fault))
+        return real_storage(ctx, fault, max_cycles)
+
+    sim.grade_comb_fault = comb
+    sim.grade_storage_fault = storage
+    return calls
+
+
+def by_description(result):
+    return {fault.describe(): cycle
+            for fault, cycle in result.first_detect.items()}
+
+
+# ----------------------------------------------------------------------
+# The acceptance round trip
+# ----------------------------------------------------------------------
+def test_hierarchical_kill_and_resume_roundtrip(tmp_path):
+    """A campaign killed mid-run resumes from its checkpoint,
+    re-executes zero completed units, and reports coverage identical to
+    an uninterrupted run with the same seed."""
+    words = program_words(8)
+    path = str(tmp_path / "grade.jsonl")
+    cutoff = 20
+
+    uninterrupted = HierarchicalFaultSimulator(
+        universe=small_universe(), block_size=32, checkpoint_every=16,
+    ).run(words)
+    n_units = len(make_campaign(words, None).units())
+    assert cutoff < n_units
+
+    # Kill mid-run: the unit-count cutoff stands in for a SIGKILL.
+    first = make_campaign(words, path)
+    outcome1 = first.run(max_units=cutoff)
+    assert outcome1.report.interrupted
+    assert outcome1.report.n_executed == cutoff
+
+    # Resume in a fresh process-equivalent (new campaign, new simulator).
+    second = make_campaign(words, path)
+    calls = count_grading_calls(second)
+    outcome2 = second.run(resume=True)
+    assert not outcome2.report.interrupted
+    assert outcome2.report.n_resumed == cutoff
+    assert outcome2.report.n_executed == n_units - cutoff
+    assert len(calls) == n_units - cutoff   # zero completed units re-ran
+
+    # The reassembled result matches the uninterrupted run exactly.
+    assert by_description(outcome2.result) == by_description(uninterrupted)
+    report_a = outcome2.result.coverage_report()
+    report_b = uninterrupted.coverage_report()
+    assert report_a.n_detected == report_b.n_detected
+    assert report_a.fault_coverage == report_b.fault_coverage
+    assert report_a.by_component == report_b.by_component
+
+    # Resuming the now-complete campaign touches nothing at all.
+    third = make_campaign(words, path)
+    calls3 = count_grading_calls(third)
+    outcome3 = third.run(resume=True)
+    assert calls3 == []
+    assert outcome3.report.n_executed == 0
+    assert outcome3.report.n_resumed == n_units
+    assert by_description(outcome3.result) == by_description(uninterrupted)
+
+
+def test_hierarchical_fingerprint_mismatch_rejected(tmp_path):
+    path = str(tmp_path / "grade.jsonl")
+    make_campaign(program_words(4), path).run()
+    with pytest.raises(CampaignError):
+        make_campaign(program_words(6), path).run(resume=True)
+
+
+def test_hierarchical_campaign_matches_direct_run():
+    """Without checkpoint or interruption the campaign is a pure
+    reorganisation of ``HierarchicalFaultSimulator.run``."""
+    words = program_words(6)
+    direct = HierarchicalFaultSimulator(
+        universe=small_universe(), block_size=32, checkpoint_every=16,
+    ).run(words)
+    outcome = make_campaign(words, None).run()
+    assert by_description(outcome.result) == by_description(direct)
+    assert outcome.result.n_vectors == direct.n_vectors
+    counts = outcome.report.counts()
+    assert counts["quarantined"] == 0 and counts["degraded"] == 0
+
+
+# ----------------------------------------------------------------------
+# Combinational campaign
+# ----------------------------------------------------------------------
+def comb_blocks(netlist, n_patterns=96, block=32, seed=9):
+    rng = random.Random(seed)
+    buses = [(name, nets) for name, nets in netlist.buses.items()
+             if all(n in netlist.inputs for n in nets)]
+    words = {name: [rng.randrange(1 << len(nets))
+                    for _ in range(n_patterns)]
+             for name, nets in buses}
+    return [
+        {name: values[i:i + block] for name, values in words.items()}
+        for i in range(0, n_patterns, block)
+    ]
+
+
+def test_combsim_campaign_matches_run_with_dropping(tmp_path):
+    from repro.dsp.components import component_by_name
+    from repro.faults.combsim import CombFaultSimulator
+    from repro.faults.model import collapse_faults
+
+    netlist = component_by_name("mux7").netlist()
+    sim = CombFaultSimulator(netlist, collapse_faults(netlist))
+    blocks = comb_blocks(netlist)
+    expected = sim.run_with_dropping(blocks)
+
+    path = str(tmp_path / "comb.jsonl")
+    campaign = CombSimCampaign(sim, blocks, checkpoint=path)
+    outcome = campaign.run()
+    assert outcome.result == expected
+
+    # Resume re-executes nothing and rebuilds the same mapping.
+    resumed = CombSimCampaign(sim, blocks, checkpoint=path).run(resume=True)
+    assert resumed.report.n_executed == 0
+    assert resumed.result == expected
+
+
+# ----------------------------------------------------------------------
+# Metrics campaign
+# ----------------------------------------------------------------------
+def test_metrics_campaign_matches_build_metrics_table(tmp_path):
+    from repro.metrics.controllability import default_variants
+    from repro.metrics.table import build_metrics_table
+
+    variants = default_variants()[:2]
+    expected = build_metrics_table(variants=variants,
+                                   n_controllability_samples=8,
+                                   n_observability_good=2)
+    path = str(tmp_path / "metrics.jsonl")
+    campaign = MetricsCampaign(variants=variants,
+                               n_controllability_samples=8,
+                               n_observability_good=2,
+                               checkpoint=path)
+    outcome = campaign.run()
+    assert outcome.result.cells == expected.cells
+    assert outcome.result.fault_counts == expected.fault_counts
+
+    resumed = MetricsCampaign(variants=variants,
+                              n_controllability_samples=8,
+                              n_observability_good=2,
+                              checkpoint=path).run(resume=True)
+    assert resumed.report.n_executed == 0
+    assert resumed.report.n_resumed == len(variants)
+    assert resumed.result.cells == expected.cells
+
+
+def test_metrics_campaign_degraded_fallback_still_fills_cells():
+    """A variant that times out degrades to the reduced-sample fallback
+    and its cells are still present (tagged degraded)."""
+    from repro.metrics.controllability import default_variants
+    from repro.runtime.runner import CampaignRunner
+
+    variants = default_variants()[:1]
+    campaign = MetricsCampaign(
+        variants=variants, n_controllability_samples=10,
+        n_observability_good=2,
+        runner=CampaignRunner(unit_timeout=1e-7, max_retries=0,
+                              sleep=lambda _: None),
+    )
+    outcome = campaign.run()
+    result = outcome.report[f"variant:{variants[0].label}"]
+    assert result.status == "degraded"
+    assert outcome.report.counts()["degraded"] == 1
+    assert any(key[0] == variants[0].label for key in outcome.result.cells)

@@ -1,0 +1,129 @@
+"""Tests for the JSONL checkpoint store."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.checkpoint import (
+    FORMAT_VERSION,
+    HEADER_KIND,
+    CheckpointStore,
+)
+from repro.runtime.errors import CheckpointCorruptError, ReproError
+
+
+def make_store(tmp_path, records=()):
+    store = CheckpointStore(str(tmp_path / "campaign.jsonl"))
+    store.create({"kind": "test", "n": 3})
+    for record in records:
+        store.append(record)
+    store.close()
+    return store
+
+
+def test_create_and_load_roundtrip(tmp_path):
+    store = make_store(tmp_path, [
+        {"unit": "a", "status": "ok", "value": 7},
+        {"unit": "b", "status": "ok", "value": None},
+    ])
+    header, records = store.load()
+    assert header["kind"] == HEADER_KIND
+    assert header["version"] == FORMAT_VERSION
+    assert header["fingerprint"] == {"kind": "test", "n": 3}
+    assert set(records) == {"a", "b"}
+    assert records["a"]["value"] == 7
+    assert records["b"]["value"] is None
+
+
+def test_create_is_atomic_no_tmp_left(tmp_path):
+    store = make_store(tmp_path)
+    assert os.path.exists(store.path)
+    assert not os.path.exists(store.path + ".tmp")
+
+
+def test_create_overwrites_previous_campaign(tmp_path):
+    store = make_store(tmp_path, [{"unit": "a", "status": "ok"}])
+    store.create({"fresh": True})
+    header, records = store.load()
+    assert header["fingerprint"] == {"fresh": True}
+    assert records == {}
+
+
+def test_truncated_final_line_raises(tmp_path):
+    store = make_store(tmp_path, [{"unit": "a", "status": "ok"}])
+    with open(store.path, "a", encoding="utf-8") as handle:
+        handle.write('{"unit": "b", "sta')  # killed mid-write
+    with pytest.raises(CheckpointCorruptError):
+        store.load()
+
+
+def test_truncated_final_line_repair(tmp_path):
+    store = make_store(tmp_path, [{"unit": "a", "status": "ok"}])
+    with open(store.path, "a", encoding="utf-8") as handle:
+        handle.write('{"unit": "b", "sta')
+    header, records = store.load(repair=True)
+    assert set(records) == {"a"}
+    # The bad tail was cut off on disk too: a plain load now succeeds.
+    _, records = store.load()
+    assert set(records) == {"a"}
+
+
+def test_garbage_record_line_raises(tmp_path):
+    store = make_store(tmp_path, [{"unit": "a", "status": "ok"}])
+    with open(store.path, "a", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+    with pytest.raises(CheckpointCorruptError):
+        store.load()
+
+
+def test_record_without_unit_key_raises(tmp_path):
+    store = make_store(tmp_path)
+    with open(store.path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps({"status": "ok"}) + "\n")
+    with pytest.raises(CheckpointCorruptError):
+        store.load()
+
+
+def test_missing_header_raises(tmp_path):
+    path = tmp_path / "raw.jsonl"
+    path.write_text(json.dumps({"unit": "a", "status": "ok"}) + "\n")
+    with pytest.raises(CheckpointCorruptError):
+        CheckpointStore(str(path)).load()
+
+
+def test_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(CheckpointCorruptError):
+        CheckpointStore(str(path)).load()
+
+
+def test_version_mismatch_raises(tmp_path):
+    path = tmp_path / "old.jsonl"
+    path.write_text(json.dumps({
+        "kind": HEADER_KIND, "version": FORMAT_VERSION + 1,
+        "fingerprint": {},
+    }) + "\n")
+    with pytest.raises(CheckpointCorruptError):
+        CheckpointStore(str(path)).load()
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(CheckpointCorruptError):
+        CheckpointStore(str(tmp_path / "nope.jsonl")).load()
+
+
+def test_corrupt_error_is_repro_error(tmp_path):
+    """The hierarchy lets callers catch every repo failure in one clause."""
+    with pytest.raises(ReproError):
+        CheckpointStore(str(tmp_path / "nope.jsonl")).load()
+
+
+def test_context_manager_closes_handle(tmp_path):
+    store = make_store(tmp_path)
+    with store:
+        store.append({"unit": "a", "status": "ok"})
+    assert store._handle is None
+    _, records = store.load()
+    assert set(records) == {"a"}

@@ -82,8 +82,13 @@ def _cmd_grade(args) -> int:
         words,
         checkpoint=args.checkpoint,
         unit_timeout=args.unit_timeout,
+        jobs=args.jobs,
     )
-    outcome = campaign.run(resume=args.resume)
+    outcome = campaign.run(resume=args.resume, max_units=args.max_units)
+    if outcome.report.interrupted:
+        print(f"campaign interrupted: {outcome.report.summary()}")
+        print("re-run with --resume to finish the remaining units")
+        return 3
     report = outcome.result.coverage_report("self test")
     print(report)
     print(f"campaign: {outcome.report.summary()}")
@@ -166,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="wall-clock budget per grading unit; "
                              "repeated timeouts degrade to behavioural "
                              "simulation")
+        p_.add_argument("--jobs", metavar="N",
+                        help="worker processes for the campaign (an "
+                             "integer or 'auto'; default: $REPRO_JOBS "
+                             "or 1, the serial backend)")
+        p_.add_argument("--max-units", type=int, metavar="N",
+                        help="stop after N grading units (checkpoint "
+                             "the rest for a later --resume)")
 
     p = sub.add_parser("metrics", help="print the Table 2 metrics")
     p.add_argument("--samples", type=int, default=150)
@@ -224,6 +236,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         current_scale()  # fail fast on an invalid REPRO_SCALE
         if getattr(args, "resume", False) and not args.checkpoint:
             raise ConfigError("--resume requires --checkpoint")
+        if getattr(args, "jobs", None) is not None:
+            from repro.runtime.pool import resolve_jobs
+            resolve_jobs(args.jobs)  # fail fast on a bad --jobs value
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.model import Fault
-from repro.logic.compiled import CompiledEvaluator3
 from repro.logic.gates import GateType
 from repro.logic.netlist import Gate, Netlist
 
@@ -137,7 +136,8 @@ class Podem:
         self.netlist = netlist
         self.order = netlist.levelize()
         self.backtrack_limit = backtrack_limit
-        self._eval3 = CompiledEvaluator3(netlist)
+        from repro.runtime.cache import compiled_evaluator3
+        self._eval3 = compiled_evaluator3(netlist)
         self._driver_gate: Dict[int, Gate] = {
             g.output: g for g in netlist.gates
         }

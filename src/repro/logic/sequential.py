@@ -23,8 +23,14 @@ class SequentialSimulator:
     """
 
     def __init__(self, netlist: Netlist, n_patterns: int = 1):
+        from repro.runtime.cache import compiled_evaluator
         self.netlist = netlist
         self.comb = CombSimulator(netlist)
+        # Unforced cycles run through the shared compiled evaluator
+        # (fetched from the structural-hash cache, so many simulator
+        # instances over identical netlists compile once); forcing falls
+        # back to the interpreted simulator, which pins nets mid-graph.
+        self._compiled = compiled_evaluator(netlist)
         self.n_patterns = n_patterns
         self._mask = (1 << n_patterns) - 1
         self.state: Dict[int, int] = {}
@@ -50,10 +56,14 @@ class SequentialSimulator:
         ``v = (v & and) | or`` (see :meth:`CombSimulator.run`), likewise
         kept stuck across the edge for state nets.
         """
-        values = self.comb.run(
-            inputs, self.n_patterns, state=self.state,
-            forced=forced, force_masks=force_masks,
-        )
+        if forced or force_masks:
+            values = self.comb.run(
+                inputs, self.n_patterns, state=self.state,
+                forced=forced, force_masks=force_masks,
+            )
+        else:
+            values = self._compiled.run(inputs, self.n_patterns,
+                                        state=self.state)
         for dff in self.netlist.dffs:
             new = values[dff.d]
             if forced and dff.q in forced:

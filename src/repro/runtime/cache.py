@@ -1,0 +1,186 @@
+"""Content-addressed caches shared by every simulator (and pool worker).
+
+Two memoisation layers back the campaign engine's throughput:
+
+* **Compiled-evaluator cache.**  :class:`~repro.logic.compiled.CompiledEvaluator`
+  construction code-generates and ``exec``-compiles one function per
+  netlist — historically *per simulator instance*, so building a
+  :class:`~repro.faults.combsim.CombFaultSimulator` for each of the
+  core's components recompiled identical netlists over and over.  Here
+  evaluators are cached by **structural hash** (gates, flip-flops, PIs,
+  POs — names excluded), so structurally identical netlists share one
+  compiled function no matter how many simulator instances exist.
+
+* **Good-machine trace cache.**  Fault simulation evaluates the
+  fault-free machine once per pattern block and then re-evaluates only
+  per-fault cones on top.  Repeated grading passes (metrics sweeps,
+  re-prepared campaigns, pool workers re-deriving a trace) used to
+  re-simulate the good machine from scratch; the trace cache keys the
+  full good-value vector by ``(netlist hash, packed pattern block)`` and
+  replays it.  The cache is a bounded LRU so paper-scale sweeps cannot
+  grow it without limit.
+
+Both caches are guarded by locks (the serial runner's timeout threads
+may race the main thread) and are inherited copy-on-write by forked pool
+workers — warm a cache before the fork and every worker shares it.
+
+Cached good-value vectors are returned by reference and must be treated
+as **read-only** by callers (cone re-evaluation copies on write already).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.logic.netlist import Netlist
+
+#: Bound on the number of good-machine blocks kept (LRU eviction).
+TRACE_CACHE_MAX = 256
+
+_LOCK = threading.Lock()
+_COMPILED: Dict[str, object] = {}
+_COMPILED3: Dict[str, object] = {}
+_TRACE: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+_STATS = {
+    "compile_hits": 0, "compile_misses": 0,
+    "trace_hits": 0, "trace_misses": 0,
+}
+
+
+# ----------------------------------------------------------------------
+# Structural hashing
+# ----------------------------------------------------------------------
+def netlist_hash(netlist: Netlist) -> str:
+    """A structural content hash of ``netlist`` (hex digest).
+
+    Covers everything evaluation depends on — net count, primary
+    inputs/outputs, flip-flops and the gate graph — and nothing it does
+    not (net *names* and bus metadata are excluded), so two
+    independently built but structurally identical netlists hash equal
+    and share cache entries.  The digest is memoised on the netlist and
+    recomputed if the netlist has grown since.
+    """
+    shape = (netlist.n_nets, len(netlist.gates), len(netlist.dffs))
+    cached = getattr(netlist, "_structural_hash", None)
+    if cached is not None and cached[0] == shape:
+        return cached[1]
+    digest = hashlib.sha256()
+    digest.update(repr(shape).encode())
+    digest.update(repr(tuple(netlist.inputs)).encode())
+    digest.update(repr(tuple(netlist.outputs)).encode())
+    for dff in netlist.dffs:
+        digest.update(f"D{dff.q}:{dff.d}:{dff.init};".encode())
+    for gate in netlist.gates:
+        digest.update(
+            f"G{gate.kind.name}:{gate.output}:{gate.inputs};".encode()
+        )
+    value = digest.hexdigest()
+    netlist._structural_hash = (shape, value)  # type: ignore[attr-defined]
+    return value
+
+
+# ----------------------------------------------------------------------
+# Compiled evaluators
+# ----------------------------------------------------------------------
+def compiled_evaluator(netlist: Netlist):
+    """The shared two-valued :class:`CompiledEvaluator` for ``netlist``.
+
+    Structurally identical netlists receive the same instance; its
+    ``.netlist`` attribute references whichever netlist compiled first.
+    """
+    from repro.logic.compiled import CompiledEvaluator
+    return _compiled_for(netlist, _COMPILED, CompiledEvaluator)
+
+
+def compiled_evaluator3(netlist: Netlist):
+    """The shared three-valued :class:`CompiledEvaluator3` for ``netlist``."""
+    from repro.logic.compiled import CompiledEvaluator3
+    return _compiled_for(netlist, _COMPILED3, CompiledEvaluator3)
+
+
+def _compiled_for(netlist: Netlist, table: Dict[str, object],
+                  factory: Callable[[Netlist], object]):
+    key = netlist_hash(netlist)
+    with _LOCK:
+        hit = table.get(key)
+        if hit is not None:
+            _STATS["compile_hits"] += 1
+            return hit
+        _STATS["compile_misses"] += 1
+    built = factory(netlist)  # compile outside the lock
+    with _LOCK:
+        return table.setdefault(key, built)
+
+
+# ----------------------------------------------------------------------
+# Good-machine trace cache
+# ----------------------------------------------------------------------
+def block_key(bus_patterns: Mapping[str, Sequence[int]],
+              n_patterns: int) -> Tuple:
+    """An exact, hashable key for one packed pattern block."""
+    return (n_patterns, tuple(sorted(
+        (name, tuple(words)) for name, words in bus_patterns.items()
+    )))
+
+
+def cached_good_values(netlist: Netlist,
+                       bus_patterns: Mapping[str, Sequence[int]],
+                       n_patterns: int,
+                       compute: Callable[[], List[int]]) -> List[int]:
+    """The good-machine value vector for one pattern block, memoised.
+
+    ``compute`` is invoked (outside the lock) only on a miss; its result
+    is stored under ``(netlist hash, stimulated bus layout, block key)``
+    and returned by reference on later hits — treat it as read-only.
+    The bus layout is part of the key because the structural hash
+    ignores names: two identical structures that bind the same bus name
+    to different nets must not share traces.
+    """
+    layout = tuple(
+        (name, tuple(netlist.buses[name])) for name in sorted(bus_patterns)
+    )
+    key = (netlist_hash(netlist), layout) \
+        + block_key(bus_patterns, n_patterns)
+    with _LOCK:
+        hit = _TRACE.get(key)
+        if hit is not None:
+            _TRACE.move_to_end(key)
+            _STATS["trace_hits"] += 1
+            return hit
+        _STATS["trace_misses"] += 1
+    values = compute()
+    with _LOCK:
+        stored = _TRACE.setdefault(key, values)
+        _TRACE.move_to_end(key)
+        while len(_TRACE) > TRACE_CACHE_MAX:
+            _TRACE.popitem(last=False)
+    return stored
+
+
+# ----------------------------------------------------------------------
+# Introspection / test hooks
+# ----------------------------------------------------------------------
+def cache_stats() -> Dict[str, float]:
+    """A snapshot of hit/miss counters, sizes and derived hit rates."""
+    with _LOCK:
+        stats = dict(_STATS)
+        stats["compiled_evaluators"] = len(_COMPILED) + len(_COMPILED3)
+        stats["trace_blocks"] = len(_TRACE)
+    for kind in ("compile", "trace"):
+        total = stats[f"{kind}_hits"] + stats[f"{kind}_misses"]
+        stats[f"{kind}_hit_rate"] = \
+            stats[f"{kind}_hits"] / total if total else 0.0
+    return stats
+
+
+def clear_caches() -> None:
+    """Drop every cached entry and zero the counters (test isolation)."""
+    with _LOCK:
+        _COMPILED.clear()
+        _COMPILED3.clear()
+        _TRACE.clear()
+        for key in _STATS:
+            _STATS[key] = 0

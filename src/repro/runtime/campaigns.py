@@ -40,10 +40,12 @@ class CampaignOutcome:
     report: CampaignReport
 
 
-def _default_runner(checkpoint, unit_timeout, runner) -> CampaignRunner:
+def _default_runner(checkpoint, unit_timeout, runner,
+                    jobs=None) -> CampaignRunner:
     if runner is not None:
         return runner
-    return CampaignRunner(checkpoint=checkpoint, unit_timeout=unit_timeout)
+    return CampaignRunner(checkpoint=checkpoint, unit_timeout=unit_timeout,
+                          jobs=jobs)
 
 
 class _Lazy:
@@ -77,13 +79,17 @@ class HierarchicalCampaign:
         checkpoint: Optional[str] = None,
         unit_timeout: Optional[float] = None,
         runner: Optional[CampaignRunner] = None,
+        jobs: Optional[int] = None,
     ):
         from repro.faults.hierarchical import HierarchicalFaultSimulator
         self.simulator = simulator if simulator is not None \
             else HierarchicalFaultSimulator()
         self.words = list(words)
         self.storage_fault_max_cycles = storage_fault_max_cycles
-        self.runner = _default_runner(checkpoint, unit_timeout, runner)
+        self.runner = _default_runner(checkpoint, unit_timeout, runner, jobs)
+        # Instance-level so the runner's pool warmup records the trace
+        # once in the parent and forked workers inherit it.
+        self._ctx = _Lazy(lambda: self.simulator.prepare(self.words))
 
     def fingerprint(self) -> Dict[str, Any]:
         sim = self.simulator
@@ -102,10 +108,18 @@ class HierarchicalCampaign:
         return {fault_unit_id(f): f
                 for f in self.simulator.universe.all_faults()}
 
+    def _reset_shared_state(self) -> None:
+        """Timed-out-unit isolation: drop the trace's good-value cache,
+        which is the shared structure an abandoned grading thread may
+        still be filling in."""
+        ctx = self._ctx._value
+        if ctx is not None:
+            ctx._good_cache.clear()
+
     def units(self) -> List[WorkUnit]:
         from repro.faults.hierarchical import ComponentFault
         sim = self.simulator
-        ctx = _Lazy(lambda: sim.prepare(self.words))
+        ctx = self._ctx
         units: List[WorkUnit] = []
         for unit_id, fault in self._fault_map().items():
             if isinstance(fault, ComponentFault):
@@ -121,6 +135,7 @@ class HierarchicalCampaign:
                 units.append(WorkUnit(
                     unit_id=unit_id, run=grade,
                     fallback=grade_behavioural,
+                    reset=self._reset_shared_state,
                     meta={"component": name},
                 ))
             else:
@@ -129,7 +144,8 @@ class HierarchicalCampaign:
                         ctx(), fault, self.storage_fault_max_cycles
                     )
 
-                units.append(WorkUnit(unit_id=unit_id, run=grade_storage))
+                units.append(WorkUnit(unit_id=unit_id, run=grade_storage,
+                                      reset=self._reset_shared_state))
         return units
 
     def run(self, resume: bool = False, repair: bool = False,
@@ -139,6 +155,7 @@ class HierarchicalCampaign:
         report = self.runner.run(
             self.units(), fingerprint=self.fingerprint(), resume=resume,
             repair=repair, max_units=max_units, progress=progress,
+            warmup=self._ctx,
         )
         fault_map = self._fault_map()
         first_detect = {
@@ -166,12 +183,13 @@ class CombSimCampaign:
         checkpoint: Optional[str] = None,
         unit_timeout: Optional[float] = None,
         runner: Optional[CampaignRunner] = None,
+        jobs: Optional[int] = None,
     ):
         self.sim = sim
         self.blocks = list(blocks)
         self.faults = list(faults if faults is not None
                            else sim.fault_list.faults)
-        self.runner = _default_runner(checkpoint, unit_timeout, runner)
+        self.runner = _default_runner(checkpoint, unit_timeout, runner, jobs)
         self._good: Dict[int, Tuple[List[int], int]] = {}
 
     def fingerprint(self) -> Dict[str, Any]:
@@ -200,11 +218,18 @@ class CombSimCampaign:
             offset += n_patterns
         return None
 
+    def _warmup(self) -> None:
+        """Evaluate every block's good machine in the parent so forked
+        workers inherit the results instead of each re-deriving them."""
+        for i in range(len(self.blocks)):
+            self._block_good(i)
+
     def units(self) -> List[WorkUnit]:
         return [
             WorkUnit(
                 unit_id=f"comb:{fault.net}:sa{fault.stuck_at}",
                 run=lambda fault=fault: self._grade(fault),
+                reset=self._good.clear,
             )
             for fault in self.faults
         ]
@@ -213,7 +238,7 @@ class CombSimCampaign:
             max_units: Optional[int] = None) -> CampaignOutcome:
         report = self.runner.run(
             self.units(), fingerprint=self.fingerprint(), resume=resume,
-            repair=repair, max_units=max_units,
+            repair=repair, max_units=max_units, warmup=self._warmup,
         )
         by_id = {f"comb:{f.net}:sa{f.stuck_at}": f for f in self.faults}
         first_detect = {
@@ -245,6 +270,7 @@ class MetricsCampaign:
         checkpoint: Optional[str] = None,
         unit_timeout: Optional[float] = None,
         runner: Optional[CampaignRunner] = None,
+        jobs: Optional[int] = None,
     ):
         from repro.metrics.controllability import default_variants
         from repro.dsp.components import all_columns
@@ -255,7 +281,7 @@ class MetricsCampaign:
         self.n_controllability_samples = n_controllability_samples
         self.n_observability_good = n_observability_good
         self.seed = seed
-        self.runner = _default_runner(checkpoint, unit_timeout, runner)
+        self.runner = _default_runner(checkpoint, unit_timeout, runner, jobs)
 
     def fingerprint(self) -> Dict[str, Any]:
         return {
@@ -269,11 +295,17 @@ class MetricsCampaign:
     def _measure(self, variant, n_samples: int, n_good: int) -> Dict:
         from repro.metrics.controllability import ControllabilityEngine
         from repro.metrics.observability import ObservabilityEngine
+        from repro.runtime.rng import rng_factory
+        # Streams are derived from (seed, variant label), never from
+        # process-global RNG state, so a pool worker measuring any
+        # subset of variants replays the serial numbers exactly.
         c_values = ControllabilityEngine(
-            n_samples=n_samples, seed=self.seed
+            n_samples=n_samples, seed=self.seed,
+            rng_factory=rng_factory(self.seed),
         ).measure(variant)
         o_values = ObservabilityEngine(
-            n_good=n_good, seed=self.seed + 1
+            n_good=n_good, seed=self.seed + 1,
+            rng_factory=rng_factory(self.seed + 1),
         ).measure(variant)
         cells = {}
         for column in self.columns:
@@ -360,6 +392,7 @@ class AtpgBaselineCampaign:
         checkpoint: Optional[str] = None,
         unit_timeout: Optional[float] = None,
         runner: Optional[CampaignRunner] = None,
+        jobs: Optional[int] = None,
     ):
         self.netlist = netlist
         self.n_frames = n_frames
@@ -368,7 +401,7 @@ class AtpgBaselineCampaign:
         self.seed = seed
         self.random_phase_sequences = random_phase_sequences
         self.random_phase_length = random_phase_length
-        self.runner = _default_runner(checkpoint, unit_timeout, runner)
+        self.runner = _default_runner(checkpoint, unit_timeout, runner, jobs)
         self._setup = _Lazy(self._build_setup)
 
     def fingerprint(self) -> Dict[str, Any]:
@@ -472,7 +505,7 @@ class AtpgBaselineCampaign:
         from repro.baselines.atpg_baseline import AtpgBaselineResult
         report = self.runner.run(
             self.units(), fingerprint=self.fingerprint(), resume=resume,
-            repair=repair, max_units=max_units,
+            repair=repair, max_units=max_units, warmup=self._setup,
         )
         setup = self._setup()
         detected = untestable = aborted = 0

@@ -1,0 +1,260 @@
+"""Process-pool execution backend for the campaign runner.
+
+Campaign work units are closures over live simulator state, which rules
+out pickling them through a task queue.  The backend instead relies on
+``fork`` start-method semantics: the pending units (and any state the
+campaign warmed up — recorded traces, compiled evaluators, PODEM
+setups) are published in a module-level context *before* the pool is
+created, every forked worker inherits them copy-on-write, and the only
+things that cross process boundaries are unit **indices** (parent →
+worker) and JSON-serialisable result **records** (worker → parent).
+
+Durability matches the serial backend's kill-anytime contract:
+
+* the parent appends each completed record to the canonical checkpoint
+  as it arrives (completion order — resume keys records by unit id, so
+  order never matters for recovery);
+* each worker *also* appends every record it produces to its own JSONL
+  **shard** (``<checkpoint>.shard-<pid>``, fsync per record), so a
+  parent killed between a worker finishing a unit and the parent
+  persisting it loses nothing — the next ``resume=True`` run merges
+  leftover shards back into the canonical file before planning
+  (:func:`merge_shards`);
+* shards are deleted once their records are safely in the canonical
+  checkpoint (end of a successful run, or after a merge).
+
+Work is dispatched in work-stealing chunks (``imap_unordered`` with a
+chunk size that keeps every worker busy) and each worker grades its
+units with the same retry/backoff/timeout/degradation state machine as
+the serial runner (``CampaignRunner._run_unit``).  A unit that times
+out in a worker leaks a daemon thread *in that worker* — the thread
+dies with the worker process at pool shutdown, which is exactly the
+isolation the in-process backend cannot provide.
+
+If the pool cannot be used at all (no ``fork`` support) or dies
+mid-campaign (a worker hard-crashes), :func:`run_pooled` returns the
+results it has; the runner finishes the remainder serially.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.errors import ConfigError
+
+#: Module-level context published by the parent immediately before the
+#: pool forks; inherited copy-on-write by every worker.
+_POOL_CONTEXT: Optional[Dict[str, Any]] = None
+#: Per-worker state built by the pool initializer (after the fork).
+_WORKER_STATE: Optional[Dict[str, Any]] = None
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+def resolve_jobs(jobs: Optional[object]) -> int:
+    """Normalise a ``--jobs`` / ``REPRO_JOBS`` value to a worker count.
+
+    ``None`` defers to the ``REPRO_JOBS`` environment variable (absent
+    → 1, the serial backend); ``"auto"`` means the machine's CPU count.
+    """
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS") or 1
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            raise ConfigError(
+                f"jobs must be a positive integer or 'auto', got {jobs!r}"
+            ) from None
+    if not isinstance(jobs, int) or jobs < 1:
+        raise ConfigError(
+            f"jobs must be a positive integer or 'auto', got {jobs!r}"
+        )
+    return jobs
+
+
+def fork_available() -> bool:
+    import multiprocessing
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# Checkpoint shards
+# ----------------------------------------------------------------------
+def shard_paths(checkpoint_path: str) -> List[str]:
+    """Shard files belonging to ``checkpoint_path``, sorted for determinism."""
+    return sorted(glob.glob(glob.escape(checkpoint_path) + ".shard-*"))
+
+
+def shard_path_for(checkpoint_path: str, pid: int) -> str:
+    return f"{checkpoint_path}.shard-{pid}"
+
+
+def merge_shards(store: CheckpointStore,
+                 completed: Dict[str, Dict[str, Any]]) -> int:
+    """Fold leftover worker shards into the canonical checkpoint.
+
+    Every intact record not already in ``completed`` is appended to the
+    canonical file and added to ``completed``; unparseable tails (a
+    worker killed mid-write) are skipped silently, mirroring
+    ``load(repair=True)``.  Consumed shards are deleted.  Returns the
+    number of records merged.
+    """
+    merged = 0
+    for path in shard_paths(store.path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().split("\n")
+        except OSError:
+            continue
+        for line in lines:
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # killed mid-write: drop the partial tail
+            if not isinstance(record, dict) or "unit" not in record:
+                continue  # the shard header, or garbage
+            if record["unit"] in completed:
+                continue
+            completed[record["unit"]] = record
+            store.append(record)
+            merged += 1
+        os.remove(path)
+    return merged
+
+
+def remove_shards(checkpoint_path: str) -> None:
+    for path in shard_paths(checkpoint_path):
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_init() -> None:
+    """Build this worker's runner and open its checkpoint shard.
+
+    Runs after the fork, so ``_POOL_CONTEXT`` (units, runner settings,
+    warmed-up campaign state reachable from the unit closures) is
+    already in this process's memory.
+    """
+    global _WORKER_STATE
+    from repro.runtime.runner import CampaignRunner
+
+    context = _POOL_CONTEXT
+    assert context is not None, "worker forked without a pool context"
+    config = context["config"]
+    shard = None
+    if context["checkpoint"]:
+        shard = CheckpointStore(
+            shard_path_for(context["checkpoint"], os.getpid())
+        )
+        shard.create(context["fingerprint"])
+    _WORKER_STATE = {
+        "runner": CampaignRunner(
+            unit_timeout=config["unit_timeout"],
+            max_retries=config["max_retries"],
+            backoff_base=config["backoff_base"],
+            backoff_factor=config["backoff_factor"],
+            backoff_max=config["backoff_max"],
+            fallback_timeout=config["fallback_timeout"],
+        ),
+        "shard": shard,
+    }
+
+
+def _worker_run(index: int) -> Dict[str, Any]:
+    """Grade one pending unit (by index) and return its result record."""
+    state = _WORKER_STATE
+    unit = _POOL_CONTEXT["units"][index]
+    result = state["runner"]._run_unit(unit)
+    record = result.record()
+    if state["shard"] is not None:
+        state["shard"].append(record)
+    return record
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def run_pooled(
+    runner,
+    pending: List[Any],
+    progress: Optional[Callable[[Any, int, int], None]] = None,
+    total: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Execute ``pending`` units on a forked pool of ``runner.jobs`` workers.
+
+    Returns ``{unit_id: UnitResult}`` for every unit that completed;
+    the caller treats missing units as "finish serially".  Completed
+    records are appended to the runner's canonical checkpoint as they
+    arrive; worker shards are cleaned up on success and left in place
+    (for :func:`merge_shards`) if the parent dies first.
+    """
+    global _POOL_CONTEXT
+    from repro.runtime.runner import UnitResult
+
+    if not fork_available():
+        return {}
+    import multiprocessing
+
+    checkpoint = runner.store.path if runner.store is not None else None
+    fingerprint: Optional[Dict[str, Any]] = None
+    _POOL_CONTEXT = {
+        "units": pending,
+        "checkpoint": checkpoint,
+        "fingerprint": fingerprint,
+        "config": {
+            "unit_timeout": runner.unit_timeout,
+            "max_retries": runner.max_retries,
+            "backoff_base": runner.backoff_base,
+            "backoff_factor": runner.backoff_factor,
+            "backoff_max": runner.backoff_max,
+            "fallback_timeout": runner.fallback_timeout,
+        },
+    }
+    jobs = min(runner.jobs, len(pending))
+    # Work-stealing granularity: several chunks per worker, so a slow
+    # chunk cannot straggle the campaign.
+    chunksize = max(1, len(pending) // (jobs * 4))
+    results: Dict[str, Any] = {}
+    total = total if total is not None else len(pending)
+    context = multiprocessing.get_context("fork")
+    try:
+        with context.Pool(jobs, initializer=_worker_init) as pool:
+            stream = pool.imap_unordered(
+                _worker_run, range(len(pending)), chunksize=chunksize
+            )
+            for done, record in enumerate(stream, start=1):
+                result = UnitResult.from_record(record, resumed=False)
+                results[result.unit_id] = result
+                if runner.store is not None:
+                    runner.store.append(record)
+                if progress is not None:
+                    progress(result, done, total)
+            pool.close()
+            pool.join()
+    except KeyboardInterrupt:
+        raise
+    except Exception:
+        # A worker hard-crashed or the pool machinery failed: return
+        # what completed and let the runner finish serially.
+        return results
+    finally:
+        _POOL_CONTEXT = None
+        if checkpoint and len(results) == len(pending):
+            # Every shard record is in the canonical checkpoint now.
+            remove_shards(checkpoint)
+    return results

@@ -10,6 +10,14 @@ and survives the failure modes that kill monolithic loops:
   every unit already recorded and re-executes nothing.
 * **Hangs** — a per-unit wall-clock ``unit_timeout`` bounds each
   attempt; the unit's thread is abandoned and the campaign moves on.
+  Abandoned threads keep executing (pure-Python work cannot be killed),
+  so the runner *accounts* for them: each timed-out unit's
+  :class:`UnitResult` records how many of its threads were still alive
+  when the unit finished (``leaked_threads``), the optional
+  ``WorkUnit.reset`` hook restores shared state the zombie may have
+  half-mutated, and the process-pool backend (``jobs > 1``, see
+  :mod:`repro.runtime.pool`) sidesteps the problem entirely — worker
+  processes die with their threads.
 * **Transient failures** — failed attempts are retried with exponential
   backoff before giving up.
 * **Poisoned units** — a unit that fails every attempt is *quarantined*
@@ -48,6 +56,10 @@ class WorkUnit:
     run: Callable[[], Any]
     #: Cheaper implementation used after repeated timeouts (optional).
     fallback: Optional[Callable[[], Any]] = None
+    #: State-isolation hook: called after a timed-out attempt, before
+    #: the next attempt or the fallback runs, so the adapter can restore
+    #: shared caches the abandoned thread may still be mutating.
+    reset: Optional[Callable[[], None]] = None
     meta: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -62,6 +74,8 @@ class UnitResult:
     timeouts: int = 0
     error: Optional[str] = None
     elapsed: float = 0.0
+    #: Timed-out attempt threads still alive when the unit finished.
+    leaked_threads: int = 0
     resumed: bool = False        # satisfied from the checkpoint, not re-run
 
     def record(self) -> Dict[str, Any]:
@@ -70,10 +84,12 @@ class UnitResult:
             "value": self.value, "attempts": self.attempts,
             "timeouts": self.timeouts, "error": self.error,
             "elapsed": round(self.elapsed, 6),
+            "leaked_threads": self.leaked_threads,
         }
 
     @classmethod
-    def from_record(cls, record: Dict[str, Any]) -> "UnitResult":
+    def from_record(cls, record: Dict[str, Any],
+                    resumed: bool = True) -> "UnitResult":
         return cls(
             unit_id=record["unit"], status=record.get("status", "ok"),
             value=record.get("value"),
@@ -81,7 +97,8 @@ class UnitResult:
             timeouts=record.get("timeouts", 0),
             error=record.get("error"),
             elapsed=record.get("elapsed", 0.0),
-            resumed=True,
+            leaked_threads=record.get("leaked_threads", 0),
+            resumed=resumed,
         )
 
 
@@ -139,7 +156,10 @@ def call_with_timeout(fn: Callable[[], Any],
 
     The attempt runs on a daemon thread; on expiry the thread is
     abandoned (pure-Python work cannot be killed) and
-    :class:`UnitTimeout` is raised.  ``timeout=None`` runs inline.
+    :class:`UnitTimeout` is raised with the zombie thread attached as
+    ``exc.thread`` so the caller can account for the leak (it keeps
+    executing — and possibly mutating shared state — until it returns
+    on its own).  ``timeout=None`` runs inline.
     """
     if timeout is None:
         return fn()
@@ -155,7 +175,9 @@ def call_with_timeout(fn: Callable[[], Any],
     thread.start()
     thread.join(timeout)
     if thread.is_alive():
-        raise UnitTimeout(f"unit exceeded {timeout:.3g}s wall clock")
+        expiry = UnitTimeout(f"unit exceeded {timeout:.3g}s wall clock")
+        expiry.thread = thread
+        raise expiry
     if "error" in box:
         raise box["error"]
     return box["value"]
@@ -167,6 +189,15 @@ class CampaignRunner:
     ``backoff_base * backoff_factor**k`` seconds are slept before retry
     ``k+1`` (capped at ``backoff_max``); ``sleep`` is injectable so tests
     can assert the schedule without waiting it out.
+
+    ``jobs`` selects the execution backend: ``1`` (the default) runs
+    units serially in-process; ``jobs > 1`` dispatches pending units to
+    a forked process pool (:mod:`repro.runtime.pool`) in work-stealing
+    chunks, with per-worker JSONL checkpoint shards merged back into
+    the canonical checkpoint.  ``jobs=None`` honours the ``REPRO_JOBS``
+    environment variable (default 1, ``auto`` = CPU count).  Both
+    backends produce the same :class:`CampaignReport` — same unit ids,
+    statuses and values, in the same order.
     """
 
     def __init__(
@@ -180,7 +211,9 @@ class CampaignRunner:
         fallback_timeout: Optional[float] = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        jobs: Optional[int] = 1,
     ):
+        from repro.runtime.pool import resolve_jobs
         if max_retries < 0:
             raise CampaignError("max_retries must be >= 0")
         self.store = CheckpointStore(checkpoint) if checkpoint else None
@@ -192,6 +225,10 @@ class CampaignRunner:
         self.fallback_timeout = fallback_timeout
         self.sleep = sleep
         self.clock = clock
+        self.jobs = resolve_jobs(jobs)
+        #: Threads abandoned by timed-out attempts that have not yet
+        #: finished on their own (pruned as they die).
+        self._leaked_threads: List[threading.Thread] = []
 
     # ------------------------------------------------------------------
     def backoff_schedule(self) -> List[float]:
@@ -212,6 +249,7 @@ class CampaignRunner:
         retry_quarantined: bool = False,
         max_units: Optional[int] = None,
         progress: Optional[Callable[[UnitResult, int, int], None]] = None,
+        warmup: Optional[Callable[[], Any]] = None,
     ) -> CampaignReport:
         """Execute ``units``, honouring the checkpoint when resuming.
 
@@ -220,6 +258,14 @@ class CampaignRunner:
         (the checkpoint belongs to a different campaign).  ``max_units``
         stops after that many fresh executions — the deterministic
         stand-in for a kill signal in tests and for incremental runs.
+
+        ``warmup`` is invoked once before any unit executes under the
+        process-pool backend (``jobs > 1``): campaigns use it to build
+        the shared trace/setup state in the parent so every forked
+        worker inherits it copy-on-write instead of re-deriving it.  It
+        is skipped when nothing is pending (a fully resumed campaign
+        touches the checkpoint file only) and on the serial path, where
+        lazy setup already runs at most once.
         """
         units = list(units)
         seen: set = set()
@@ -238,53 +284,165 @@ class CampaignRunner:
                         "checkpoint fingerprint mismatch: file has "
                         f"{recorded!r}, campaign expects {fingerprint!r}"
                     )
+                # A previous pooled run killed mid-campaign may have left
+                # worker shards holding records the canonical checkpoint
+                # never received; fold them in before planning.
+                from repro.runtime.pool import merge_shards
+                merge_shards(self.store, completed)
             else:
                 self.store.create(fingerprint)
 
-        report = CampaignReport()
-        executed = 0
         try:
-            for i, unit in enumerate(units):
-                record = completed.get(unit.unit_id)
-                if record is not None and (
-                        record.get("status") != "quarantined"
-                        or not retry_quarantined):
-                    report.results[unit.unit_id] = \
-                        UnitResult.from_record(record)
-                    continue
-                if max_units is not None and executed >= max_units:
-                    report.interrupted = True
-                    break
-                result = self._run_unit(unit)
-                executed += 1
-                report.results[unit.unit_id] = result
-                if self.store is not None:
-                    self.store.append(result.record())
-                if progress is not None:
-                    progress(result, i + 1, len(units))
+            if self.jobs > 1:
+                return self._run_pooled(
+                    units, completed, retry_quarantined=retry_quarantined,
+                    max_units=max_units, progress=progress, warmup=warmup,
+                )
+            return self._run_serial(
+                units, completed, retry_quarantined=retry_quarantined,
+                max_units=max_units, progress=progress,
+            )
         finally:
             if self.store is not None:
                 self.store.close()
+
+    # ------------------------------------------------------------------
+    def _resumable(self, record: Optional[Dict[str, Any]],
+                   retry_quarantined: bool) -> bool:
+        """Can this checkpoint record satisfy its unit without re-running?"""
+        return record is not None and (
+            record.get("status") != "quarantined" or not retry_quarantined
+        )
+
+    def _run_serial(
+        self,
+        units: List[WorkUnit],
+        completed: Dict[str, Dict[str, Any]],
+        retry_quarantined: bool,
+        max_units: Optional[int],
+        progress: Optional[Callable[[UnitResult, int, int], None]],
+    ) -> CampaignReport:
+        report = CampaignReport()
+        executed = 0
+        for i, unit in enumerate(units):
+            record = completed.get(unit.unit_id)
+            if self._resumable(record, retry_quarantined):
+                report.results[unit.unit_id] = UnitResult.from_record(record)
+                continue
+            if max_units is not None and executed >= max_units:
+                report.interrupted = True
+                break
+            result = self._run_unit(unit)
+            executed += 1
+            report.results[unit.unit_id] = result
+            if self.store is not None:
+                self.store.append(result.record())
+            if progress is not None:
+                progress(result, i + 1, len(units))
+        return report
+
+    def _run_pooled(
+        self,
+        units: List[WorkUnit],
+        completed: Dict[str, Dict[str, Any]],
+        retry_quarantined: bool,
+        max_units: Optional[int],
+        progress: Optional[Callable[[UnitResult, int, int], None]],
+        warmup: Optional[Callable[[], Any]],
+    ) -> CampaignReport:
+        """Pool-backed execution with serial-identical report semantics.
+
+        The unit scan mirrors :meth:`_run_serial` exactly — resumed
+        records in order, the fresh-execution budget (``max_units``)
+        cutting the campaign at the first over-budget pending unit — so
+        the two backends report the same units in the same order.
+        """
+        from repro.runtime.pool import run_pooled
+
+        report = CampaignReport()
+        kept: List[Any] = []            # unit or its resumed record, in order
+        pending: List[WorkUnit] = []
+        for unit in units:
+            record = completed.get(unit.unit_id)
+            if self._resumable(record, retry_quarantined):
+                kept.append(UnitResult.from_record(record))
+                continue
+            if max_units is not None and len(pending) >= max_units:
+                report.interrupted = True
+                break
+            pending.append(unit)
+            kept.append(unit)
+
+        results: Dict[str, UnitResult] = {}
+        if pending:
+            if warmup is not None:
+                warmup()
+            results = run_pooled(self, pending, progress=progress,
+                                 total=len(units))
+        leftover = [u for u in pending if u.unit_id not in results]
+        for unit in leftover:
+            # Pool fell back mid-campaign (fork unavailable, worker
+            # crash): finish the remainder serially — graceful
+            # degradation of the backend itself.
+            result = self._run_unit(unit)
+            results[unit.unit_id] = result
+            if self.store is not None:
+                self.store.append(result.record())
+        for entry in kept:
+            if isinstance(entry, UnitResult):
+                report.results[entry.unit_id] = entry
+            else:
+                report.results[entry.unit_id] = results[entry.unit_id]
         return report
 
     # ------------------------------------------------------------------
+    def leaked_thread_count(self) -> int:
+        """Abandoned timeout threads still running right now."""
+        self._leaked_threads = [
+            t for t in self._leaked_threads if t.is_alive()
+        ]
+        return len(self._leaked_threads)
+
+    def _note_timeout(self, unit: WorkUnit, exc: UnitTimeout,
+                      unit_threads: List[threading.Thread]) -> None:
+        """Track the abandoned thread and let the unit restore state."""
+        thread = getattr(exc, "thread", None)
+        if thread is not None:
+            unit_threads.append(thread)
+            self._leaked_threads.append(thread)
+        if unit.reset is not None:
+            try:
+                unit.reset()
+            except Exception:  # noqa: BLE001 — isolation is best-effort
+                pass
+
     def _run_unit(self, unit: WorkUnit) -> UnitResult:
         started = self.clock()
         timeouts = 0
         last_error: Optional[BaseException] = None
+        unit_threads: List[threading.Thread] = []
+
+        def finish(result: UnitResult) -> UnitResult:
+            result.leaked_threads = sum(
+                1 for t in unit_threads if t.is_alive()
+            )
+            self.leaked_thread_count()  # prune the runner-level list
+            return result
+
         for attempt in range(self.max_retries + 1):
             if attempt:
                 self.sleep(self.backoff_schedule()[attempt - 1])
             try:
                 value = call_with_timeout(unit.run, self.unit_timeout)
-                return UnitResult(
+                return finish(UnitResult(
                     unit_id=unit.unit_id, status="ok", value=value,
                     attempts=attempt + 1, timeouts=timeouts,
                     elapsed=self.clock() - started,
-                )
+                ))
             except UnitTimeout as exc:
                 timeouts += 1
                 last_error = exc
+                self._note_timeout(unit, exc, unit_threads)
             except ReproError as exc:
                 last_error = exc
             except Exception as exc:  # noqa: BLE001 — quarantine, don't abort
@@ -296,21 +454,25 @@ class CampaignRunner:
             try:
                 fallback_budget = self.fallback_timeout
                 value = call_with_timeout(unit.fallback, fallback_budget)
-                return UnitResult(
+                return finish(UnitResult(
                     unit_id=unit.unit_id, status="degraded", value=value,
                     attempts=attempts + 1, timeouts=timeouts,
                     error=_describe(last_error),
                     elapsed=self.clock() - started,
-                )
+                ))
+            except UnitTimeout as exc:
+                last_error = exc
+                attempts += 1
+                self._note_timeout(unit, exc, unit_threads)
             except Exception as exc:  # noqa: BLE001
                 last_error = exc
                 attempts += 1
-        return UnitResult(
+        return finish(UnitResult(
             unit_id=unit.unit_id, status="quarantined", value=None,
             attempts=attempts, timeouts=timeouts,
             error=_describe(last_error),
             elapsed=self.clock() - started,
-        )
+        ))
 
 
 def _describe(exc: Optional[BaseException]) -> Optional[str]:

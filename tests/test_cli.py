@@ -69,6 +69,27 @@ def test_resume_requires_checkpoint(capsys):
     assert "--checkpoint" in err
 
 
+def test_grade_jobs_and_max_units_roundtrip(tmp_path, capsys):
+    """`--max-units` interrupts with exit 3; a pooled `--resume` finishes."""
+    checkpoint = tmp_path / "grade.jsonl"
+    args = ["grade", "--samples", "30", "--good", "2", "--iterations", "2",
+            "--jobs", "2", "--checkpoint", str(checkpoint)]
+    assert main(args + ["--max-units", "5"]) == 3
+    out = capsys.readouterr().out
+    assert "interrupted" in out and "--resume" in out
+    assert main(args + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "5 resumed" in out
+    assert "faults detected" in out
+    # The completed campaign leaves no worker shards behind.
+    assert list(tmp_path.glob("grade.jsonl.shard-*")) == []
+
+
+def test_grade_rejects_bad_jobs(capsys):
+    assert main(["grade", "--jobs", "zero"]) == 2
+    assert "jobs" in capsys.readouterr().err
+
+
 def test_invalid_repro_scale_exits_cleanly(monkeypatch, capsys):
     monkeypatch.setenv("REPRO_SCALE", "bogus")
     assert main(["isa"]) == 2

@@ -88,6 +88,38 @@ def test_pack_patterns_single_bit():
     assert pack_patterns([1, 0, 1, 1], 0) == 0b1101
 
 
+def test_pack_patterns_empty_pattern_list():
+    assert pack_patterns([], 0) == 0
+    assert pack_bus_patterns(4, []) == [0, 0, 0, 0]
+
+
+def test_pack_unpack_one_bit_bus():
+    """Width-1 buses pack into a single per-net integer."""
+    words = [1, 0, 0, 1, 1]
+    packed = pack_bus_patterns(1, words)
+    assert packed == [0b11001]
+    for k, word in enumerate(words):
+        assert unpack_output(packed, k) == word
+
+
+def test_pack_unpack_block_wider_than_64_patterns():
+    """Packed values are arbitrary-precision: blocks beyond the 64-bit
+    machine-word boundary round-trip exactly."""
+    n_patterns = 100
+    words = [(k * 37) & 0xFF for k in range(n_patterns)]
+    packed = pack_bus_patterns(8, words)
+    assert max(packed).bit_length() <= n_patterns
+    assert any(p >> 64 for p in packed)   # the block really crosses 64 bits
+    for k, word in enumerate(words):
+        assert unpack_output(packed, k) == word
+
+
+def test_pack_patterns_high_bit_index():
+    words = [0x8000, 0x0000, 0x8000]
+    assert pack_patterns(words, 15) == 0b101
+    assert pack_patterns(words, 0) == 0
+
+
 def counter2():
     """2-bit counter with enable input."""
     b = NetlistBuilder("counter2")

@@ -1,0 +1,244 @@
+"""Tests for the process-pool campaign backend (repro.runtime.pool)."""
+
+import json
+
+import pytest
+
+from repro.faults.hierarchical import (
+    DspFaultUniverse,
+    HierarchicalFaultSimulator,
+)
+from repro.runtime.campaigns import HierarchicalCampaign
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.errors import ConfigError
+from repro.runtime.pool import (
+    fork_available,
+    merge_shards,
+    resolve_jobs,
+    shard_path_for,
+    shard_paths,
+)
+from repro.runtime.runner import CampaignRunner, WorkUnit
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+def test_resolve_jobs_default_is_serial(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+
+
+def test_resolve_jobs_env_and_explicit(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs(None) == 3
+    assert resolve_jobs(4) == 4          # explicit beats the environment
+    assert resolve_jobs("2") == 2
+
+
+def test_resolve_jobs_auto(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs("auto") >= 1
+
+
+@pytest.mark.parametrize("bad", [0, -2, "zero", "1.5", 2.5])
+def test_resolve_jobs_rejects_garbage(bad):
+    with pytest.raises(ConfigError):
+        resolve_jobs(bad)
+
+
+def test_runner_honours_repro_jobs_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    assert CampaignRunner(jobs=None).jobs == 2
+    assert CampaignRunner().jobs == 1    # explicit default stays serial
+
+
+# ----------------------------------------------------------------------
+# Shard merging
+# ----------------------------------------------------------------------
+def test_merge_shards_recovers_orphaned_records(tmp_path):
+    """Records a killed parent never persisted are folded back in, and
+    a partial tail (worker killed mid-write) is dropped silently."""
+    path = str(tmp_path / "ck.jsonl")
+    store = CheckpointStore(path)
+    store.create({"n": 1})
+    store.append({"unit": "a", "status": "ok", "value": 1})
+
+    shard = shard_path_for(path, 12345)
+    with open(shard, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"created": "header"}) + "\n")
+        handle.write(json.dumps(
+            {"unit": "a", "status": "ok", "value": 999}) + "\n")
+        handle.write(json.dumps(
+            {"unit": "b", "status": "ok", "value": 2}) + "\n")
+        handle.write('{"unit": "c", "status"')     # torn write
+
+    _, completed = store.load()
+    merged = merge_shards(store, completed)
+    assert merged == 1
+    assert completed["a"]["value"] == 1            # canonical record wins
+    assert completed["b"]["value"] == 2
+    assert "c" not in completed
+    assert shard_paths(path) == []                 # shard consumed
+
+    # The merged record is durable in the canonical file.
+    _, reloaded = CheckpointStore(path).load()
+    assert set(reloaded) == {"a", "b"}
+
+
+def test_merge_shards_orders_shards_deterministically(tmp_path):
+    path = str(tmp_path / "ck.jsonl")
+    store = CheckpointStore(path)
+    store.create(None)
+    for pid in (222, 111):
+        with open(shard_path_for(path, pid), "w", encoding="utf-8") as f:
+            f.write(json.dumps(
+                {"unit": "x", "status": "ok", "value": pid}) + "\n")
+    completed = {}
+    merge_shards(store, completed)
+    # Lexicographically first shard wins the duplicate.
+    assert completed["x"]["value"] == 111
+
+
+# ----------------------------------------------------------------------
+# Pooled execution
+# ----------------------------------------------------------------------
+def small_universe():
+    return DspFaultUniverse(components=["mux7", "macreg"],
+                            include_regfile=False)
+
+
+def program_words(iterations=8):
+    from repro.bist.template import RandomLoad, TemplateArchitecture
+    from repro.dsp.isa import Instruction, Opcode
+    program = [
+        RandomLoad(0), RandomLoad(1),
+        Instruction(Opcode.MPYA, rega=0, regb=1, dest=2),
+        Instruction(Opcode.OUT, regb=2),
+        Instruction(Opcode.OUTA),
+    ]
+    return TemplateArchitecture(program).expand(iterations)
+
+
+def make_campaign(words, checkpoint, jobs=1):
+    sim = HierarchicalFaultSimulator(universe=small_universe(),
+                                     block_size=32, checkpoint_every=16)
+    return HierarchicalCampaign(words, simulator=sim,
+                                checkpoint=checkpoint, jobs=jobs)
+
+
+def report_fingerprint(report):
+    """Everything that must match between backends (elapsed may differ)."""
+    return [
+        (r.unit_id, r.status, r.value, r.resumed)
+        for r in report.results.values()
+    ]
+
+
+@needs_fork
+def test_pooled_report_identical_to_serial(tmp_path):
+    """`jobs=4` produces the same CampaignReport as the serial backend:
+    same unit ids, statuses and values, in the same order."""
+    words = program_words(8)
+    serial = make_campaign(words, None, jobs=1).run()
+    pooled = make_campaign(
+        words, str(tmp_path / "pool.jsonl"), jobs=4).run()
+    assert report_fingerprint(pooled.report) \
+        == report_fingerprint(serial.report)
+    assert pooled.report.counts() == serial.report.counts()
+
+    # The assembled coverage result matches a direct run too.
+    direct = HierarchicalFaultSimulator(
+        universe=small_universe(), block_size=32, checkpoint_every=16,
+    ).run(words)
+    assert {f.describe(): c for f, c in pooled.result.first_detect.items()} \
+        == {f.describe(): c for f, c in direct.first_detect.items()}
+
+
+@needs_fork
+def test_pooled_kill_and_resume_roundtrip(tmp_path):
+    """A pooled campaign interrupted mid-run resumes (still pooled) and
+    matches an uninterrupted serial run exactly."""
+    words = program_words(8)
+    path = str(tmp_path / "pool.jsonl")
+    cutoff = 20
+
+    serial = make_campaign(words, None, jobs=1).run()
+    first = make_campaign(words, path, jobs=2).run(max_units=cutoff)
+    assert first.report.interrupted
+    assert first.report.n_executed == cutoff
+    assert shard_paths(path) == []         # completed shards folded away
+
+    second = make_campaign(words, path, jobs=2).run(resume=True)
+    assert not second.report.interrupted
+    assert second.report.n_resumed == cutoff
+    assert {f.describe(): c for f, c in second.result.first_detect.items()} \
+        == {f.describe(): c for f, c in serial.result.first_detect.items()}
+
+
+@needs_fork
+def test_pooled_resume_recovers_shard_only_records(tmp_path):
+    """Simulate a parent killed after a worker persisted its shard
+    record but before the canonical append: resume must not re-run it."""
+    words = program_words(6)
+    path = str(tmp_path / "pool.jsonl")
+    complete = make_campaign(words, path, jobs=2).run()
+    n_units = len(complete.report.results)
+
+    # Rebuild the checkpoint as the kill would have left it: move the
+    # last record out of the canonical file into a worker shard.
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle.read().split("\n") if line]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines[:-1]) + "\n")
+    with open(shard_path_for(path, 99999), "w", encoding="utf-8") as f:
+        f.write(lines[-1] + "\n")
+
+    outcome = make_campaign(words, path, jobs=2).run(resume=True)
+    assert outcome.report.n_executed == 0
+    assert outcome.report.n_resumed == n_units
+    assert shard_paths(path) == []
+
+
+@needs_fork
+def test_pooled_falls_back_serially_when_pool_dies(tmp_path, monkeypatch):
+    """If the pool backend returns partial results the runner finishes
+    the remainder in-process (graceful degradation of the backend)."""
+    import repro.runtime.pool as pool_mod
+
+    real = pool_mod.run_pooled
+
+    def flaky(runner, pending, progress=None, total=None):
+        results = real(runner, pending[: len(pending) // 2],
+                       progress=progress, total=total)
+        return results
+
+    monkeypatch.setattr(pool_mod, "run_pooled", flaky)
+
+    units = [WorkUnit(unit_id=f"u{i}", run=lambda i=i: i * i)
+             for i in range(8)]
+    runner = CampaignRunner(checkpoint=str(tmp_path / "ck.jsonl"), jobs=2)
+    report = runner.run(units)
+    assert [r.value for r in report.results.values()] \
+        == [i * i for i in range(8)]
+    assert not report.interrupted
+
+
+@needs_fork
+def test_pooled_plain_units_roundtrip(tmp_path):
+    """Closure-only units (no campaign adapter) survive the fork and the
+    record round trip."""
+    units = [WorkUnit(unit_id=f"u{i}", run=lambda i=i: {"square": i * i})
+             for i in range(10)]
+    runner = CampaignRunner(checkpoint=str(tmp_path / "ck.jsonl"), jobs=3)
+    report = runner.run(units, fingerprint={"k": 1})
+    assert report.counts()["ok"] == 10
+    assert report.value("u7") == {"square": 49}
+    # Everything landed in the canonical checkpoint; no shards left.
+    _, completed = CheckpointStore(str(tmp_path / "ck.jsonl")).load()
+    assert len(completed) == 10
+    assert shard_paths(str(tmp_path / "ck.jsonl")) == []

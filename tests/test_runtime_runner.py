@@ -1,5 +1,6 @@
 """Tests for the resilient campaign runner."""
 
+import threading
 import time
 
 import pytest
@@ -314,3 +315,107 @@ def test_unit_result_record_roundtrip():
     assert restored.attempts == 3
     assert restored.timeouts == 2
     assert restored.resumed
+
+
+# ----------------------------------------------------------------------
+# Leaked-thread accounting and state isolation
+# ----------------------------------------------------------------------
+def test_timeout_attaches_zombie_thread():
+    release = threading.Event()
+    try:
+        with pytest.raises(UnitTimeout) as info:
+            call_with_timeout(release.wait, timeout=0.02)
+        thread = info.value.thread
+        assert thread.daemon
+        assert thread.is_alive()
+    finally:
+        release.set()
+
+
+def test_timed_out_unit_records_leaked_threads():
+    release = threading.Event()
+    try:
+        runner, _ = make_runner(unit_timeout=0.02, max_retries=1)
+        report = runner.run([WorkUnit(unit_id="hang", run=release.wait)])
+        result = report["hang"]
+        assert result.status == "quarantined"
+        assert result.timeouts == 2
+        assert result.leaked_threads == 2     # one zombie per attempt
+        assert runner.leaked_thread_count() == 2
+    finally:
+        release.set()
+    for _ in range(100):                      # zombies die once released
+        if runner.leaked_thread_count() == 0:
+            break
+        time.sleep(0.01)
+    assert runner.leaked_thread_count() == 0
+
+
+def test_fast_unit_leaks_nothing():
+    runner, _ = make_runner(unit_timeout=5.0)
+    report = runner.run(ok_units(3))
+    assert all(r.leaked_threads == 0 for r in report.results.values())
+    assert runner.leaked_thread_count() == 0
+
+
+def test_leaked_threads_survive_checkpoint_roundtrip(tmp_path):
+    release = threading.Event()
+    path = str(tmp_path / "run.jsonl")
+    try:
+        runner, _ = make_runner(checkpoint=path, unit_timeout=0.02,
+                                max_retries=0)
+        runner.run([WorkUnit(unit_id="hang", run=release.wait,
+                             fallback=lambda: "cheap")])
+    finally:
+        release.set()
+    runner2, _ = make_runner(checkpoint=path)
+    report = runner2.run([WorkUnit(unit_id="hang", run=lambda: 1)],
+                         resume=True)
+    assert report["hang"].resumed
+    assert report["hang"].leaked_threads >= 1
+
+
+def test_reset_hook_called_per_timeout_before_next_attempt():
+    release = threading.Event()
+    events = []
+    try:
+        runner, _ = make_runner(unit_timeout=0.02, max_retries=1)
+        unit = WorkUnit(
+            unit_id="hang",
+            run=lambda: (events.append("attempt"), release.wait())[1],
+            fallback=lambda: events.append("fallback") or "ok",
+            reset=lambda: events.append("reset"),
+        )
+        report = runner.run([unit])
+    finally:
+        release.set()
+    assert report["hang"].status == "degraded"
+    # Shared state is restored after every timed-out attempt, before
+    # the next attempt (or the fallback) can observe it.
+    assert events == ["attempt", "reset", "attempt", "reset", "fallback"]
+
+
+def test_reset_hook_failure_is_swallowed():
+    release = threading.Event()
+    try:
+        runner, _ = make_runner(unit_timeout=0.02, max_retries=0)
+        unit = WorkUnit(
+            unit_id="hang", run=release.wait,
+            fallback=lambda: "cheap",
+            reset=lambda: (_ for _ in ()).throw(RuntimeError("reset boom")),
+        )
+        report = runner.run([unit])
+    finally:
+        release.set()
+    assert report["hang"].status == "degraded"
+    assert report["hang"].value == "cheap"
+
+
+def test_reset_not_called_on_clean_units():
+    calls = []
+    runner, _ = make_runner(unit_timeout=5.0)
+    units = [WorkUnit(unit_id="ok", run=lambda: 1,
+                      reset=lambda: calls.append("reset"))]
+    report = runner.run(units)
+    assert report["ok"].status == "ok"
+    assert calls == []

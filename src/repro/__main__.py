@@ -8,6 +8,8 @@ Commands cover the everyday flows:
   optionally writing the test-vector file and golden MISR signature;
 * ``grade`` — generate and fault-grade the self-test program;
 * ``constraints`` — the Phase 3 control-bit constraint study (§3.4);
+* ``lint`` — static analysis of netlists, self-test programs and
+  campaign configurations (see :mod:`repro.lint`);
 * ``export-verilog`` — write the flat gate-level core as Verilog.
 """
 
@@ -131,6 +133,11 @@ def _cmd_core_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint
+    return run_lint(args)
+
+
 def _cmd_export_verilog(args) -> int:
     from repro.dsp.gatelevel import make_gatelevel_core
     from repro.logic.export import to_verilog
@@ -218,6 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("core-report",
                        help="structural report of the flat core")
     p.set_defaults(func=_cmd_core_report)
+
+    p = sub.add_parser("lint",
+                       help="static analysis of netlists, self-test "
+                            "programs and campaign configs")
+    from repro.lint.cli import add_lint_arguments
+    add_lint_arguments(p)
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("export-verilog",
                        help="write the flat core as structural Verilog")

@@ -115,10 +115,15 @@ class DspFaultUniverse:
         self.comb_faults: Dict[str, List[Fault]] = {}
         self.comb_simulators: Dict[str, CombFaultSimulator] = {}
         self.storage_faults: List[StorageFault] = []
+        from repro.lint.netlist_rules import warn_on_netlist
         for name in names:
             spec = _spec(name)
             if spec.kind == "comb":
                 netlist = spec.netlist()
+                # Warn-only structural screening (lint NET* error rules):
+                # a multi-driven or floating-bus netlist silently corrupts
+                # fault grading, so surface it at universe construction.
+                warn_on_netlist(netlist, context=f"fault universe: {name}")
                 fault_list = collapse_faults(netlist)
                 # Component-input faults model the interconnect, which is
                 # already covered by the driving component's output faults

@@ -1,0 +1,82 @@
+"""Static analysis over netlists, self-test programs and campaign configs.
+
+The linter turns the pipeline's structural assumptions into
+machine-checked invariants, organised as a flat registry of rules across
+three domains (see :mod:`repro.lint.findings` for the registry model):
+
+* **netlist** (``NET*``, :mod:`repro.lint.netlist_rules`) — multi-driven
+  nets, dead logic, provably-constant nets, uninitialised-state
+  propagation, floating buses, fanout/depth outliers;
+* **program** (``PRG*``/``ISA*``, :mod:`repro.lint.program_rules` and
+  :mod:`repro.lint.modes`) — accumulator-state assumptions vs actual
+  dataflow, dead stores, unreachable-mode covers claims, loop
+  observability, and the static cross-check of Phase 2's dynamic
+  unreachable-column discard;
+* **campaign** (``CMP*``, :mod:`repro.lint.campaign_rules`) —
+  checkpoint-path collisions and no-progress timeout/jobs combinations.
+
+Run it as ``python -m repro lint`` (see :mod:`repro.lint.cli`), or
+in-process::
+
+    from repro.lint import lint_netlist
+    report = lint_netlist(netlist)
+    assert not report.errors, report.render()
+
+Campaign adapters screen their netlists automatically (warn-only) when
+they construct fault universes; set ``REPRO_LINT=0`` to disable.
+"""
+
+# Importing the rule modules registers every rule; the registry is what
+# the CLI, the catalog and baseline tooling operate on.
+from repro.lint.campaign_rules import CampaignConfig, lint_campaigns
+from repro.lint.findings import (
+    DOMAINS,
+    REGISTRY,
+    Finding,
+    LintReport,
+    Rule,
+    Severity,
+    finding,
+    rule,
+    rule_catalog,
+    rules_for,
+    rules_for_subject,
+)
+from repro.lint.modes import (
+    MODE_EXTRACTORS,
+    component_mode,
+    lint_isa,
+    lint_table,
+    mode_reachability_crosscheck,
+    static_mode_reachability,
+    static_unreachable_columns,
+)
+from repro.lint.netlist_rules import LintWarning, lint_netlist, warn_on_netlist
+from repro.lint.program_rules import lint_program
+
+__all__ = [
+    "DOMAINS",
+    "REGISTRY",
+    "CampaignConfig",
+    "Finding",
+    "LintReport",
+    "LintWarning",
+    "MODE_EXTRACTORS",
+    "Rule",
+    "Severity",
+    "component_mode",
+    "finding",
+    "lint_campaigns",
+    "lint_isa",
+    "lint_netlist",
+    "lint_program",
+    "lint_table",
+    "mode_reachability_crosscheck",
+    "rule",
+    "rule_catalog",
+    "rules_for",
+    "rules_for_subject",
+    "static_mode_reachability",
+    "static_unreachable_columns",
+    "warn_on_netlist",
+]

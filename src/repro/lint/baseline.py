@@ -1,0 +1,65 @@
+"""Baseline suppression files.
+
+A baseline records the ``rule@location`` keys of *known, accepted*
+findings so CI fails only on new ones — the standard ratchet workflow:
+
+1. ``repro lint --write-baseline lint-baseline.json <targets>`` records
+   the current findings;
+2. the file is committed;
+3. later runs with ``--baseline lint-baseline.json`` suppress exactly
+   those keys (they are reported separately and never affect the exit
+   code), while anything new still fails.
+
+Format (version 1)::
+
+    {"version": 1, "suppress": ["NET003@netlist:demo:net 'y'", ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.lint.findings import LintReport
+from repro.runtime.errors import ConfigError
+
+FORMAT_VERSION = 1
+
+
+def load_baseline(path: str) -> List[str]:
+    """The suppressed finding keys recorded in ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise ConfigError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline {path!r} is not JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != FORMAT_VERSION:
+        raise ConfigError(
+            f"baseline {path!r} is not a version-{FORMAT_VERSION} "
+            "baseline file"
+        )
+    keys = doc.get("suppress", [])
+    if not isinstance(keys, list) or \
+            not all(isinstance(k, str) for k in keys):
+        raise ConfigError(f"baseline {path!r}: \"suppress\" must be a "
+                          "list of finding keys")
+    return keys
+
+
+def save_baseline(path: str, keys: Iterable[str]) -> int:
+    """Write a baseline containing ``keys``; returns how many."""
+    unique = sorted(set(keys))
+    doc = {"version": FORMAT_VERSION, "suppress": unique}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    return len(unique)
+
+
+def baseline_from_report(path: str, report: LintReport) -> int:
+    """Record every finding in ``report`` (kept + suppressed) as accepted."""
+    keys = [f.key for f in report.findings] + \
+           [f.key for f in report.suppressed]
+    return save_baseline(path, keys)

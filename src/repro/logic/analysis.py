@@ -49,22 +49,28 @@ def logic_depth(netlist: Netlist) -> DepthReport:
 
 def fanout_histogram(netlist: Netlist, buckets: Tuple[int, ...] = (1, 2, 4, 8)
                      ) -> Dict[str, int]:
-    """Histogram of net fanouts, bucketed (`<=1`, `<=2`, ..., `>last`)."""
+    """Histogram of net fanouts, bucketed (`<=1`, `<=2`, ..., `>last`).
+
+    With ``buckets=()`` every loaded net lands in a single ``>0``
+    overflow bucket.  A netlist with no gates and no DFFs yields a
+    histogram whose counts are all zero.
+    """
     counts: Dict[int, int] = {}
     for gate in netlist.gates:
         for net in gate.inputs:
             counts[net] = counts.get(net, 0) + 1
     for dff in netlist.dffs:
         counts[dff.d] = counts.get(dff.d, 0) + 1
+    overflow = f">{buckets[-1]}" if buckets else ">0"
     histogram: Dict[str, int] = {f"<={b}": 0 for b in buckets}
-    histogram[f">{buckets[-1]}"] = 0
+    histogram[overflow] = 0
     for fanout in counts.values():
         for bucket in buckets:
             if fanout <= bucket:
                 histogram[f"<={bucket}"] += 1
                 break
         else:
-            histogram[f">{buckets[-1]}"] += 1
+            histogram[overflow] += 1
     return histogram
 
 

@@ -102,7 +102,10 @@ def to_verilog(netlist: Netlist, module_name: str = None) -> str:
         lines.append("  always @(posedge clk) begin")
         lines.append("    if (rst) begin")
         for dff in netlist.dffs:
-            lines.append(f"      {names[dff.q]} <= 1'b{dff.init};")
+            # No-reset flops (init=None) power up unknown; 1'bx keeps the
+            # exported RTL honest about that.
+            init = "x" if dff.init is None else dff.init
+            lines.append(f"      {names[dff.q]} <= 1'b{init};")
         lines.append("    end else begin")
         for dff in netlist.dffs:
             lines.append(f"      {names[dff.q]} <= {names[dff.d]};")

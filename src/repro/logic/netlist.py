@@ -19,6 +19,18 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.logic.gates import GateType, check_arity
 
 
+def _config_error(message: str) -> ValueError:
+    """A :class:`~repro.runtime.errors.ConfigError`, imported lazily.
+
+    ``repro.runtime``'s package init imports the cache layer, which
+    imports this module — a top-level import here would be circular.
+    ``ConfigError`` subclasses ``ValueError``, so callers written against
+    the historical bare ``ValueError`` keep working.
+    """
+    from repro.runtime.errors import ConfigError
+    return ConfigError(message)
+
+
 @dataclass(frozen=True)
 class Gate:
     """One primitive gate: ``output = kind(inputs)``."""
@@ -30,11 +42,17 @@ class Gate:
 
 @dataclass(frozen=True)
 class Dff:
-    """A positive-edge D flip-flop with reset value ``init``."""
+    """A positive-edge D flip-flop with reset value ``init``.
+
+    ``init=None`` models a flop with no reset: its power-up value is
+    unknown.  Simulators treat an unknown init as 0 (they test the field
+    for truthiness); the lint pass flags any path from such a flop to an
+    observable output (rule NET004).
+    """
 
     q: int
     d: int
-    init: int = 0
+    init: Optional[int] = 0
 
 
 @dataclass(frozen=True)
@@ -90,7 +108,7 @@ class Netlist:
     def add_net(self, name: str) -> int:
         """Create a net named ``name`` and return its id."""
         if name in self._ids_by_name:
-            raise ValueError(f"duplicate net name {name!r}")
+            raise _config_error(f"duplicate net name {name!r}")
         net_id = len(self.net_names)
         self.net_names.append(name)
         self._ids_by_name[name] = net_id
@@ -115,11 +133,11 @@ class Netlist:
         """Attach a gate driving ``output``; each net may have one driver."""
         check_arity(kind, len(inputs))
         if output in self.driver:
-            raise ValueError(
+            raise _config_error(
                 f"net {self.net_names[output]!r} already has a driver"
             )
         if output in self._dff_q:
-            raise ValueError(
+            raise _config_error(
                 f"net {self.net_names[output]!r} is a DFF output"
             )
         gate = Gate(kind, output, tuple(inputs))
@@ -128,10 +146,10 @@ class Netlist:
         self._topo_cache = None
         return gate
 
-    def add_dff(self, q: int, d: int, init: int = 0) -> Dff:
+    def add_dff(self, q: int, d: int, init: Optional[int] = 0) -> Dff:
         if q in self.driver or q in self._dff_q:
-            raise ValueError(f"net {self.net_names[q]!r} already driven")
-        dff = Dff(q, d, init & 1)
+            raise _config_error(f"net {self.net_names[q]!r} already driven")
+        dff = Dff(q, d, None if init is None else init & 1)
         self.dffs.append(dff)
         self._dff_q[q] = dff
         self._topo_cache = None
@@ -140,7 +158,7 @@ class Netlist:
     def add_bus(self, name: str, nets: Sequence[int]) -> List[int]:
         """Register ``nets`` (LSB first) as a named bus and return them."""
         if name in self.buses:
-            raise ValueError(f"duplicate bus name {name!r}")
+            raise _config_error(f"duplicate bus name {name!r}")
         self.buses[name] = list(nets)
         return self.buses[name]
 
@@ -200,7 +218,7 @@ class Netlist:
                 for i, cnt in remaining_inputs.items()
                 if cnt > 0
             ]
-            raise ValueError(
+            raise _config_error(
                 f"netlist {self.name!r} has a combinational loop or "
                 f"undriven nets feeding: {stuck[:10]}"
             )
@@ -231,24 +249,41 @@ class Netlist:
         return cone
 
     def validate(self) -> None:
-        """Check structural sanity; raises ``ValueError`` on problems."""
-        driven = set(self.driver)
-        driven.update(d.q for d in self.dffs)
-        driven.update(self.inputs)
+        """Check structural sanity.
+
+        Raises :class:`~repro.runtime.errors.ConfigError` (a
+        ``ValueError`` subclass) on undriven nets, multi-driven nets, or
+        combinational loops.  The multi-driven check scans the gate list
+        itself, so it also catches gates appended directly to ``gates``
+        (bypassing :meth:`add_gate`'s incremental guard).
+        """
+        sources: Dict[int, int] = {}
+        for gate in self.gates:
+            sources[gate.output] = sources.get(gate.output, 0) + 1
+        for dff in self.dffs:
+            sources[dff.q] = sources.get(dff.q, 0) + 1
+        for net in self.inputs:
+            sources[net] = sources.get(net, 0) + 1
+        for net, count in sources.items():
+            if count > 1:
+                raise _config_error(
+                    f"net {self.net_names[net]!r} has {count} drivers"
+                )
+        driven = set(sources)
         for gate in self.gates:
             for n in gate.inputs:
                 if n not in driven:
-                    raise ValueError(
+                    raise _config_error(
                         f"gate input net {self.net_names[n]!r} is undriven"
                     )
         for out in self.outputs:
             if out not in driven:
-                raise ValueError(
+                raise _config_error(
                     f"primary output {self.net_names[out]!r} is undriven"
                 )
         for dff in self.dffs:
             if dff.d not in driven:
-                raise ValueError(
+                raise _config_error(
                     f"DFF D input {self.net_names[dff.d]!r} is undriven"
                 )
         self.levelize()  # raises on combinational loops

@@ -191,6 +191,8 @@ class CombSimCampaign:
                            else sim.fault_list.faults)
         self.runner = _default_runner(checkpoint, unit_timeout, runner, jobs)
         self._good: Dict[int, Tuple[List[int], int]] = {}
+        from repro.lint.netlist_rules import warn_on_netlist
+        warn_on_netlist(sim.netlist, context="combsim campaign")
 
     def fingerprint(self) -> Dict[str, Any]:
         return {
@@ -423,6 +425,8 @@ class AtpgBaselineCampaign:
 
         core = self.netlist if self.netlist is not None \
             else make_gatelevel_core()
+        from repro.lint.netlist_rules import warn_on_netlist
+        warn_on_netlist(core, context="atpg baseline fault universe")
         unrolled = unroll(core, self.n_frames)
         faults = list(collapse_faults(core).faults)
         if self.fault_sample is not None and \

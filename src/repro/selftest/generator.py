@@ -155,7 +155,7 @@ def assemble_program(table: MetricsTable, phase1: Phase1Result,
         # the accumulator holds a product, which still counts as random.
         instr = _concrete_instruction(variant, next(dests))
         program.add(instr, phase=phase, covers=covers,
-                    comment=variant.label)
+                    comment=variant.label, acc_state=variant.acc_state)
         if isinstance(instr, RandomLoad):
             ctrl = control_word(Opcode.LDI)
         else:
@@ -169,7 +169,12 @@ def assemble_program(table: MetricsTable, phase1: Phase1Result,
                         else "")
         if ctrl.acc_we:
             acc = "B" if ctrl.accsel else "A"
-            acc_random[acc] = True  # result value is data-dependent/random
+            # The write only leaves the accumulator random when the
+            # product path is open or it re-reads an already-random
+            # accumulator; a shift of a still-zero accumulator stays zero.
+            if ctrl.muxa_zero == 0 or (ctrl.muxb_shift == 1
+                                       and acc_random[acc]):
+                acc_random[acc] = True
 
     for variant, covers in phase1.selections:
         emit_selected(variant, covers, "phase1")
@@ -194,7 +199,8 @@ def assemble_program(table: MetricsTable, phase1: Phase1Result,
             if acc is not None and not acc_random[acc]:
                 emit_randomise(acc)
             instr = _concrete_instruction(variant, next(dests))
-            program.add(instr, phase="wrapper", comment="decoder sweep")
+            program.add(instr, phase="wrapper", comment="decoder sweep",
+                        acc_state=variant.acc_state)
             if control_word(opcode).reg_we:
                 program.add(Instruction(Opcode.OUT, regb=instr.dest),
                             phase="wrapper", comment="observe result")

@@ -33,6 +33,10 @@ class ProgramLine:
     phase: str = ""                      # "wrapper" | "phase1" | "phase2" | "phase3"
     covers: Tuple[Column, ...] = ()
     in_loop: bool = True
+    #: The metrics-table accumulator-state variant this line was selected
+    #: as ("0" or "R"; "" when the line is not a measured row).  The lint
+    #: pass checks the claim against the program's actual dataflow.
+    acc_state: str = ""
 
     def symbolic(self) -> str:
         if isinstance(self.item, RandomLoad):
@@ -56,9 +60,11 @@ class TestProgram:
     lines: List[ProgramLine] = field(default_factory=list)
 
     def add(self, item: TemplateItem, comment: str = "", phase: str = "",
-            covers: Sequence[Column] = (), in_loop: bool = True) -> ProgramLine:
+            covers: Sequence[Column] = (), in_loop: bool = True,
+            acc_state: str = "") -> ProgramLine:
         line = ProgramLine(item=item, comment=comment, phase=phase,
-                           covers=tuple(covers), in_loop=in_loop)
+                           covers=tuple(covers), in_loop=in_loop,
+                           acc_state=acc_state)
         self.lines.append(line)
         return line
 

@@ -1,0 +1,102 @@
+"""Tests for the campaign-config lint rules (CMP001..CMP003)."""
+
+from repro.lint.campaign_rules import CampaignConfig, lint_campaigns
+from repro.lint.findings import Severity
+
+
+def rules_fired(report):
+    return {f.rule for f in report}
+
+
+def test_clean_configs_have_no_findings(tmp_path):
+    configs = [
+        CampaignConfig(name="a", checkpoint=str(tmp_path / "a.jsonl"),
+                       unit_timeout=30.0, jobs=4),
+        CampaignConfig(name="b", checkpoint=str(tmp_path / "b.jsonl")),
+        CampaignConfig(name="c"),  # no checkpoint at all is fine
+    ]
+    assert lint_campaigns(configs).findings == []
+
+
+def test_cmp001_checkpoint_collision(tmp_path):
+    path = str(tmp_path / "shared.jsonl")
+    configs = [CampaignConfig(name="a", checkpoint=path),
+               CampaignConfig(name="b", checkpoint=path),
+               CampaignConfig(name="c",
+                              checkpoint=str(tmp_path / "own.jsonl"))]
+    report = lint_campaigns(configs)
+    cmp001 = [f for f in report if f.rule == "CMP001"]
+    assert len(cmp001) == 2  # one finding per colliding campaign
+    assert {f.location for f in cmp001} == {"campaign:a:checkpoint",
+                                            "campaign:b:checkpoint"}
+    assert report.exit_code() == 1
+
+
+def test_cmp002_zero_timeout_is_error():
+    report = lint_campaigns([CampaignConfig(name="a", unit_timeout=0.0)])
+    cmp002 = [f for f in report if f.rule == "CMP002"]
+    assert len(cmp002) == 1
+    assert cmp002[0].severity is Severity.ERROR
+
+
+def test_cmp002_implausibly_small_timeout_is_warning():
+    report = lint_campaigns([CampaignConfig(name="a", unit_timeout=0.001)])
+    cmp002 = [f for f in report if f.rule == "CMP002"]
+    assert len(cmp002) == 1
+    assert cmp002[0].severity is Severity.WARNING
+
+
+def test_cmp002_bad_fallback_jobs_and_retries():
+    report = lint_campaigns([
+        CampaignConfig(name="a", unit_timeout=10.0, fallback_timeout=0.0,
+                       jobs=0, max_retries=-1),
+    ])
+    locations = {f.location for f in report if f.rule == "CMP002"}
+    assert locations == {"campaign:a:fallback_timeout",
+                         "campaign:a:jobs",
+                         "campaign:a:max_retries"}
+
+
+def test_cmp003_reserved_suffixes(tmp_path):
+    report = lint_campaigns([
+        CampaignConfig(name="a", checkpoint=str(tmp_path / "grade.tmp")),
+        CampaignConfig(name="b",
+                       checkpoint=str(tmp_path / "grade.shard-99")),
+    ])
+    cmp003 = [f for f in report if f.rule == "CMP003"]
+    assert len(cmp003) == 2
+
+
+def test_cmp003_missing_parent_directory(tmp_path):
+    missing = tmp_path / "does-not-exist" / "grade.jsonl"
+    report = lint_campaigns([CampaignConfig(name="a",
+                                            checkpoint=str(missing))])
+    cmp003 = [f for f in report if f.rule == "CMP003"]
+    assert len(cmp003) == 1
+    assert "does not exist" in cmp003[0].message
+
+
+def test_from_adapter_reads_runner_configuration(tmp_path):
+    """A live campaign adapter is normalised via its CampaignRunner."""
+    from repro.dsp.components import component_by_name
+    from repro.faults.combsim import CombFaultSimulator
+    from repro.faults.model import collapse_faults
+    from repro.runtime.campaigns import CombSimCampaign
+    netlist = component_by_name("mux7").netlist()
+    sim = CombFaultSimulator(netlist, collapse_faults(netlist))
+    checkpoint = tmp_path / "mux7.jsonl"
+    campaign = CombSimCampaign(
+        sim, blocks=[],
+        checkpoint=str(checkpoint), unit_timeout=12.5, jobs=1,
+    )
+    config = CampaignConfig.from_adapter("mux7", campaign)
+    assert config.checkpoint == str(checkpoint)
+    assert config.unit_timeout == 12.5
+    assert config.jobs == 1
+    assert lint_campaigns([config]).findings == []
+
+
+def test_from_doc_defaults():
+    config = CampaignConfig.from_doc({"name": "x"})
+    assert config.jobs == 1 and config.max_retries == 2
+    assert config.checkpoint is None and config.unit_timeout is None

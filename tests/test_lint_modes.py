@@ -1,0 +1,91 @@
+"""Static mode reachability and its cross-check against Phase 2.
+
+The paper eliminates the shifter's "10"/"11" columns by hand ("eliminate
+columns whose control bits are not set by any instruction"); Phase 2 does
+it dynamically from the measured table.  These tests pin the static
+derivation to that answer and enforce that both mechanisms agree on the
+full paper-core table.
+"""
+
+import pytest
+
+from repro.dsp.isa import Opcode, control_word
+from repro.lint.modes import (
+    MODE_EXTRACTORS,
+    component_mode,
+    lint_isa,
+    lint_table,
+    mode_reachability_crosscheck,
+    static_mode_reachability,
+    static_unreachable_columns,
+)
+from repro.selftest.phase2 import unreachable_columns
+
+
+@pytest.fixture(scope="module")
+def paper_table():
+    """The full paper-core metrics table at quick scale.
+
+    Cell *presence* (what reachability checks) is deterministic: a cell
+    exists iff the instruction's trace exercised the column, regardless
+    of how many samples measured it.
+    """
+    from repro.metrics.table import build_metrics_table
+    return build_metrics_table(n_controllability_samples=8,
+                               n_observability_good=2)
+
+
+def test_static_unreachable_is_exactly_shifter_hi_modes():
+    assert static_unreachable_columns() == [("shifter", 2), ("shifter", 3)]
+
+
+def test_shifter_reachable_modes():
+    assert static_mode_reachability()["shifter"] == frozenset({0, 1})
+
+
+def test_every_opcode_has_a_mode_for_every_extractor():
+    for name in MODE_EXTRACTORS:
+        for op in Opcode:
+            assert component_mode(name, control_word(op)) >= 0
+
+
+def test_single_mode_components_report_mode_zero():
+    assert component_mode("multiplier", control_word(Opcode.MPYA)) == 0
+
+
+def test_lint_isa_reports_the_discarded_columns():
+    report = lint_isa()
+    locations = {f.location for f in report}
+    assert locations == {"isa:shifter:2", "isa:shifter:3"}
+    assert report.exit_code() == 0  # info only
+
+
+def test_static_agrees_with_dynamic_on_paper_core(paper_table):
+    """The acceptance cross-check: both discard mechanisms coincide."""
+    dynamic_only, static_only = mode_reachability_crosscheck(paper_table)
+    assert dynamic_only == []
+    assert static_only == []
+    assert set(unreachable_columns(paper_table)) == \
+        set(static_unreachable_columns(paper_table.columns))
+    assert lint_table(paper_table).findings == []
+
+
+def test_fabricated_disagreement_is_caught(paper_table):
+    """Deleting every cell of a reachable column must trip ISA001."""
+    from repro.metrics.table import MetricsTable
+    target = ("addsub", 1)
+    assert target in paper_table.columns
+    pruned = MetricsTable(
+        rows=paper_table.rows,
+        columns=paper_table.columns,
+        cells={key: cell for key, cell in paper_table.cells.items()
+               if key[1] != target},
+        fault_counts=paper_table.fault_counts,
+    )
+    dynamic_only, static_only = mode_reachability_crosscheck(pruned)
+    assert dynamic_only == [target]
+    assert static_only == []
+    report = lint_table(pruned)
+    assert [f.rule for f in report] == ["ISA001"]
+    assert "addsub" in report.findings[0].message
+    assert report.exit_code() == 1

@@ -1,0 +1,182 @@
+"""Tests for the program-domain lint rules (PRG000..PRG006)."""
+
+from repro.bist.template import RandomLoad
+from repro.dsp.isa import Instruction, Opcode
+from repro.lint.findings import Severity
+from repro.lint.program_rules import lint_program
+from repro.selftest.program import TestProgram
+
+
+def rules_fired(report):
+    return {f.rule for f in report}
+
+
+def program_of(*entries):
+    """Each entry: (item, kwargs-for-add)."""
+    program = TestProgram()
+    for item, kwargs in entries:
+        program.add(item, **kwargs)
+    return program
+
+
+def minimal_clean_program():
+    return program_of(
+        (RandomLoad(0), {}),
+        (RandomLoad(1), {}),
+        (Instruction(Opcode.MPYA, rega=0, regb=1, dest=2),
+         {"acc_state": "0", "covers": [("multiplier", 0)]}),
+        (Instruction(Opcode.OUT, regb=2), {}),
+        (Instruction(Opcode.OUTA), {}),
+    )
+
+
+def test_clean_program_has_no_errors():
+    report = lint_program(minimal_clean_program())
+    assert report.errors == []
+    assert report.exit_code() == 0
+
+
+def test_prg000_empty_loop():
+    program = program_of(
+        (Instruction(Opcode.LDI, dest=0), {"in_loop": False}),
+    )
+    fired = rules_fired(lint_program(program))
+    assert "PRG000" in fired
+    assert "PRG004" not in fired  # the loop rule defers to PRG000
+
+
+def test_prg001_r_row_on_zero_accumulator():
+    program = program_of(
+        (RandomLoad(0), {}),
+        (RandomLoad(1), {}),
+        (Instruction(Opcode.MACA_ADD, rega=0, regb=1, dest=2),
+         {"acc_state": "R", "comment": "MacA+R"}),
+        (Instruction(Opcode.OUTA), {}),
+    )
+    report = lint_program(program)
+    prg001 = [f for f in report if f.rule == "PRG001"]
+    assert len(prg001) == 1
+    assert "AccA" in prg001[0].message
+    assert report.exit_code() == 1
+
+
+def test_prg001_quiet_after_randomising_write():
+    program = program_of(
+        (RandomLoad(0), {}),
+        (RandomLoad(1), {}),
+        (Instruction(Opcode.MPYA, rega=0, regb=1, dest=2), {}),
+        (Instruction(Opcode.MACA_ADD, rega=0, regb=1, dest=3),
+         {"acc_state": "R"}),
+        (Instruction(Opcode.OUTA), {}),
+    )
+    assert "PRG001" not in rules_fired(lint_program(program))
+
+
+def test_prg001_shift_of_zero_acc_stays_zero():
+    """SHIFTA keeps a zero accumulator zero: the 'R' claim is still wrong."""
+    program = program_of(
+        (RandomLoad(0), {}),
+        (Instruction(Opcode.SHIFTA, rega=0, dest=2), {}),
+        (Instruction(Opcode.MACA_ADD, rega=0, regb=1, dest=3),
+         {"acc_state": "R"}),
+        (Instruction(Opcode.OUTA), {}),
+    )
+    assert "PRG001" in rules_fired(lint_program(program))
+
+
+def test_prg005_zero_row_random_in_steady_state():
+    report = lint_program(minimal_clean_program())
+    prg005 = [f for f in report if f.rule == "PRG005"]
+    # MPYA randomises AccA on pass 1; the "0" claim only holds once.
+    assert len(prg005) == 1
+    assert prg005[0].severity is Severity.INFO
+
+
+def test_prg002_dead_store():
+    program = program_of(
+        (RandomLoad(0), {}),
+        (RandomLoad(1), {}),
+        (Instruction(Opcode.LDI, dest=5), {"comment": "dead"}),
+        (Instruction(Opcode.MPYA, rega=0, regb=1, dest=2), {}),
+        (Instruction(Opcode.OUT, regb=2), {}),
+    )
+    report = lint_program(program)
+    prg002 = [f for f in report if f.rule == "PRG002"]
+    assert len(prg002) == 1
+    assert "R5" in prg002[0].message
+
+
+def test_prg002_quiet_when_value_is_read():
+    program = program_of(
+        (Instruction(Opcode.LDI, dest=5), {}),
+        (Instruction(Opcode.OUT, regb=5), {}),
+    )
+    assert "PRG002" not in rules_fired(lint_program(program))
+
+
+def test_prg002_quiet_on_loop_wraparound_read():
+    """A write at the loop's end read at its top is live (pass 2)."""
+    program = program_of(
+        (Instruction(Opcode.OUT, regb=5), {}),
+        (Instruction(Opcode.LDI, dest=5), {}),
+    )
+    assert "PRG002" not in rules_fired(lint_program(program))
+
+
+def test_prg002_ignores_writes_with_acc_side_effect():
+    """MAC-family register writes are never dead: the acc update is live."""
+    program = program_of(
+        (RandomLoad(0), {}),
+        (RandomLoad(1), {}),
+        (Instruction(Opcode.MPYA, rega=0, regb=1, dest=9), {}),
+        (Instruction(Opcode.OUTA), {}),
+    )
+    assert "PRG002" not in rules_fired(lint_program(program))
+
+
+def test_prg003_unreachable_covers_claim():
+    program = program_of(
+        (RandomLoad(0), {}),
+        (Instruction(Opcode.SHIFTA, rega=0, dest=2),
+         {"covers": [("shifter", 2)]}),
+        (Instruction(Opcode.OUTA), {}),
+    )
+    report = lint_program(program)
+    prg003 = [f for f in report if f.rule == "PRG003"]
+    assert len(prg003) == 1
+    assert "shifter:2" in prg003[0].message
+    assert report.exit_code() == 1
+
+
+def test_prg004_loop_without_output():
+    program = program_of(
+        (Instruction(Opcode.LDI, dest=0), {}),
+        (Instruction(Opcode.OUT, regb=0), {"in_loop": False}),
+    )
+    fired = rules_fired(lint_program(program))
+    assert "PRG004" in fired
+
+
+def test_prg006_covers_mode_mismatch():
+    program = program_of(
+        (RandomLoad(0), {}),
+        (RandomLoad(1), {}),
+        (Instruction(Opcode.MPYA, rega=0, regb=1, dest=2),
+         {"covers": [("addsub", 1)]}),  # MPYA decodes sub=0
+        (Instruction(Opcode.OUT, regb=2), {}),
+        (Instruction(Opcode.OUTA), {}),
+    )
+    report = lint_program(program)
+    prg006 = [f for f in report if f.rule == "PRG006"]
+    assert len(prg006) == 1
+    assert "mode 0" in prg006[0].message
+
+
+def test_generated_program_is_clean():
+    """The real generator's output carries no error-level findings."""
+    from repro.selftest.generator import SelfTestGenerator
+    selftest = SelfTestGenerator().generate(
+        n_controllability_samples=30, n_observability_good=2,
+    )
+    report = lint_program(selftest.program)
+    assert report.errors == [], report.render()

@@ -63,6 +63,39 @@ def test_region_inventory_on_flat_core():
     assert total == len(make_gatelevel_core().gates)
 
 
+def test_analysis_helpers_on_empty_netlist():
+    """Zero-gate netlists must not trip max()/indexing on empty data."""
+    from repro.logic.netlist import Netlist
+    empty = Netlist("empty")
+    report = logic_depth(empty)
+    assert report.max_depth == 0
+    assert report.mean_output_depth == 0.0
+    hist = fanout_histogram(empty)
+    assert all(count == 0 for count in hist.values())
+    assert fanout_histogram(empty, buckets=()) == {">0": 0}
+    assert region_inventory(empty) == {}
+
+
+def test_analysis_helpers_on_dff_only_netlist():
+    from repro.logic.netlist import Netlist
+    nl = Netlist("dffonly")
+    d = nl.add_input(nl.add_net("d"))
+    q = nl.add_net("q")
+    nl.add_dff(q, d)
+    nl.add_output(q)
+    assert logic_depth(nl).max_depth == 0
+    assert fanout_histogram(nl)["<=1"] == 1  # the D input is one load
+    assert fanout_histogram(nl, buckets=()) == {">0": 1}
+
+
+def test_fanout_histogram_empty_buckets_on_real_netlist():
+    """buckets=() collapses everything into the overflow bucket."""
+    netlist = make_adder(4)
+    hist = fanout_histogram(netlist, buckets=())
+    assert set(hist) == {">0"}
+    assert hist[">0"] == sum(fanout_histogram(netlist).values())
+
+
 def test_core_depth_is_reported():
     report = logic_depth(make_gatelevel_core())
     # The multiplier's ripple array dominates; depth must be substantial

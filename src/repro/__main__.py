@@ -10,6 +10,8 @@ Commands cover the everyday flows:
 * ``constraints`` — the Phase 3 control-bit constraint study (§3.4);
 * ``lint`` — static analysis of netlists, self-test programs and
   campaign configurations (see :mod:`repro.lint`);
+* ``chaos`` — seeded fault-injection soak of the campaign runtime
+  itself (see :mod:`repro.runtime.chaos`);
 * ``export-verilog`` — write the flat gate-level core as Verilog.
 """
 
@@ -86,7 +88,8 @@ def _cmd_grade(args) -> int:
         unit_timeout=args.unit_timeout,
         jobs=args.jobs,
     )
-    outcome = campaign.run(resume=args.resume, max_units=args.max_units)
+    outcome = campaign.run(resume=args.resume, max_units=args.max_units,
+                           force=args.force)
     if outcome.report.interrupted:
         print(f"campaign interrupted: {outcome.report.summary()}")
         print("re-run with --resume to finish the remaining units")
@@ -95,6 +98,43 @@ def _cmd_grade(args) -> int:
     print(report)
     print(f"campaign: {outcome.report.summary()}")
     print(f"test time at 500 MHz: {report.test_time_seconds() * 1e3:.3f} ms")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    import json as _json
+    from repro.runtime.chaos import parse_classes, run_soak
+    classes = parse_classes(args.inject)
+
+    def progress(outcome):
+        status = "ok" if outcome.ok() else \
+            f"{len(outcome.violations)} VIOLATIONS"
+        print(f"  campaign {outcome.index:3d} seed {outcome.seed}: "
+              f"{outcome.crashes} crashes, {outcome.resumes} resumes "
+              f"[{status}]")
+
+    print(f"chaos soak: {args.campaigns} campaigns x {args.units} units, "
+          f"seed {args.seed}, injecting {','.join(classes)}")
+    report = run_soak(
+        seed=args.seed, campaigns=args.campaigns, n_units=args.units,
+        classes=classes, probability=args.probability,
+        max_per_class=args.max_per_class, jobs=args.jobs,
+        scratch=args.scratch,
+        progress=progress if args.verbose else None,
+    )
+    print(report.summary())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_json(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote soak report to {args.report}")
+    if not report.ok():
+        for campaign in report.campaigns:
+            for violation in campaign.violations:
+                print(f"VIOLATION campaign {campaign.index} "
+                      f"(seed {campaign.seed}): {violation.describe()}",
+                      file=sys.stderr)
+        return 1
     return 0
 
 
@@ -185,6 +225,9 @@ def build_parser() -> argparse.ArgumentParser:
         p_.add_argument("--max-units", type=int, metavar="N",
                         help="stop after N grading units (checkpoint "
                              "the rest for a later --resume)")
+        p_.add_argument("--force", action="store_true",
+                        help="resume even if the checkpoint fingerprint "
+                             "does not match the campaign")
 
     p = sub.add_parser("metrics", help="print the Table 2 metrics")
     p.add_argument("--samples", type=int, default=150)
@@ -212,6 +255,36 @@ def build_parser() -> argparse.ArgumentParser:
     add_table_options(p)
     add_campaign_options(p)
     p.set_defaults(func=_cmd_grade)
+
+    p = sub.add_parser("chaos",
+                       help="seeded fault-injection soak of the campaign "
+                            "runtime (exits nonzero on any invariant "
+                            "violation)")
+    p.add_argument("--seed", type=int, required=True,
+                   help="master seed for the failure schedule (each "
+                        "campaign derives its own)")
+    p.add_argument("--campaigns", type=int, default=50, metavar="K",
+                   help="chaos campaigns to run (default 50)")
+    p.add_argument("--units", type=int, default=12, metavar="N",
+                   help="work units per campaign (default 12)")
+    p.add_argument("--inject",
+                   default="kill,torn,io,hang,corrupt,truncate,duplicate",
+                   metavar="CLASSES",
+                   help="comma-separated failure classes, or 'all'")
+    p.add_argument("--probability", type=float, default=0.25,
+                   help="repeat-injection probability in [0, 1)")
+    p.add_argument("--max-per-class", type=int, default=2, metavar="N",
+                   help="injection budget per class per campaign")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes per chaos campaign")
+    p.add_argument("--scratch", metavar="DIR",
+                   help="scratch directory for chaos checkpoints "
+                        "(default: a private temp dir, removed after)")
+    p.add_argument("--report", metavar="FILE",
+                   help="write the JSON soak report here")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per campaign")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("constraints",
                        help="control-bit constraint study (Phase 3)")

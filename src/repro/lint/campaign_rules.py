@@ -17,7 +17,10 @@ Rules:
   out);
 * ``CMP003`` — checkpoint paths the store machinery reserves or cannot
   create (missing parent directory, ``.tmp`` / ``.shard-`` suffixes used
-  by atomic replace and the process-pool shards).
+  by atomic replace and the process-pool shards);
+* ``CMP004`` — unusable chaos-injection policies (probability ≥ 1.0,
+  missing seed, a checkpoint inside the chaos scratch directory that
+  the soak deletes on exit).
 """
 
 from __future__ import annotations
@@ -43,6 +46,9 @@ class CampaignConfig:
     fallback_timeout: Optional[float] = None
     jobs: int = 1
     max_retries: int = 2
+    #: The ``"chaos"`` block of the campaign entry, when present — the
+    #: injection policy :mod:`repro.runtime.chaos` would run with.
+    chaos: Optional[Any] = None
 
     @classmethod
     def from_adapter(cls, name: str, campaign: Any) -> "CampaignConfig":
@@ -68,6 +74,7 @@ class CampaignConfig:
             fallback_timeout=doc.get("fallback_timeout"),
             jobs=int(doc.get("jobs", 1)),
             max_retries=int(doc.get("max_retries", 2)),
+            chaos=doc.get("chaos"),
         )
 
 
@@ -182,6 +189,59 @@ def check_checkpoint_paths(
                 "its first completed unit",
                 hint="create the directory before launching the campaign",
             )
+
+
+# ----------------------------------------------------------------------
+# CMP004 — unusable chaos-injection policies
+# ----------------------------------------------------------------------
+@rule("CMP004", "campaign", Severity.ERROR,
+      "chaos-injection policy is unusable or self-destructive")
+def check_chaos_policy(
+    configs: Sequence[CampaignConfig],
+) -> Iterator[Finding]:
+    for config in configs:
+        doc = config.chaos
+        if doc is None:
+            continue
+        if not isinstance(doc, dict):
+            yield finding(
+                "CMP004", _loc(config, "chaos"),
+                f"chaos block must be an object, got {type(doc).__name__}",
+                hint="use {\"seed\": ..., \"probability\": ..., ...}",
+            )
+            continue
+        probability = doc.get("probability")
+        if isinstance(probability, (int, float)) and probability >= 1.0:
+            yield finding(
+                "CMP004", _loc(config, "chaos.probability"),
+                f"chaos probability={probability!r}: every eligible "
+                "injection point fires until the per-class budget is "
+                "exhausted, so the campaign only measures the budget "
+                "(usually a percentage pasted where a fraction belongs)",
+                hint="use a fraction in [0, 1), e.g. 0.25",
+            )
+        if doc.get("seed") is None:
+            yield finding(
+                "CMP004", _loc(config, "chaos.seed"),
+                "chaos block has no seed: an unseeded failure schedule "
+                "cannot be replayed, so a soak failure is unreproducible",
+                hint="set an integer seed (the soak derives per-campaign "
+                     "seeds from it)",
+            )
+        scratch = doc.get("scratch")
+        if scratch and config.checkpoint:
+            checkpoint = os.path.abspath(config.checkpoint)
+            root = os.path.abspath(scratch)
+            if os.path.commonpath([checkpoint, root]) == root:
+                yield finding(
+                    "CMP004", _loc(config, "checkpoint"),
+                    f"checkpoint {config.checkpoint!r} lives inside the "
+                    f"chaos scratch directory {scratch!r}, which the soak "
+                    "deletes on exit — the campaign's durable state is "
+                    "destroyed with the chaos debris",
+                    hint="point the checkpoint outside the scratch "
+                         "directory",
+                )
 
 
 # ----------------------------------------------------------------------

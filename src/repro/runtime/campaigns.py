@@ -150,12 +150,12 @@ class HierarchicalCampaign:
 
     def run(self, resume: bool = False, repair: bool = False,
             max_units: Optional[int] = None,
-            progress=None) -> CampaignOutcome:
+            progress=None, force: bool = False) -> CampaignOutcome:
         from repro.faults.hierarchical import HierarchicalResult
         report = self.runner.run(
             self.units(), fingerprint=self.fingerprint(), resume=resume,
             repair=repair, max_units=max_units, progress=progress,
-            warmup=self._ctx,
+            warmup=self._ctx, force=force,
         )
         fault_map = self._fault_map()
         first_detect = {
@@ -195,9 +195,14 @@ class CombSimCampaign:
         warn_on_netlist(sim.netlist, context="combsim campaign")
 
     def fingerprint(self) -> Dict[str, Any]:
+        from repro.runtime.integrity import fingerprint_for_netlist
         return {
             "kind": "combsim",
             "netlist": self.sim.netlist.name,
+            # The structural hash, not just the name: resuming against a
+            # *modified* netlist of the same name must be rejected (the
+            # checkpointed grades belong to different hardware).
+            "netlist_hash": fingerprint_for_netlist(self.sim.netlist),
             "n_blocks": len(self.blocks),
             "n_faults": len(self.faults),
         }
@@ -237,10 +242,12 @@ class CombSimCampaign:
         ]
 
     def run(self, resume: bool = False, repair: bool = False,
-            max_units: Optional[int] = None) -> CampaignOutcome:
+            max_units: Optional[int] = None,
+            force: bool = False) -> CampaignOutcome:
         report = self.runner.run(
             self.units(), fingerprint=self.fingerprint(), resume=resume,
             repair=repair, max_units=max_units, warmup=self._warmup,
+            force=force,
         )
         by_id = {f"comb:{f.net}:sa{f.stuck_at}": f for f in self.faults}
         first_detect = {
@@ -338,7 +345,8 @@ class MetricsCampaign:
         return units
 
     def run(self, resume: bool = False, repair: bool = False,
-            max_units: Optional[int] = None) -> CampaignOutcome:
+            max_units: Optional[int] = None,
+            force: bool = False) -> CampaignOutcome:
         from repro.dsp.components import COMPONENTS
         from repro.metrics.table import (
             MetricsCell,
@@ -347,7 +355,7 @@ class MetricsCampaign:
         )
         report = self.runner.run(
             self.units(), fingerprint=self.fingerprint(), resume=resume,
-            repair=repair, max_units=max_units,
+            repair=repair, max_units=max_units, force=force,
         )
         table = MetricsTable(
             rows=self.variants,

@@ -35,7 +35,26 @@ class CampaignError(ReproError, RuntimeError):
 
 class CheckpointCorruptError(CampaignError):
     """A checkpoint file failed validation — truncated mid-write,
-    non-JSON garbage, or a header that does not match the campaign."""
+    non-JSON garbage, a broken record hash chain, or a header that does
+    not match the campaign."""
+
+
+class FingerprintMismatchError(ConfigError, CampaignError):
+    """A resumed checkpoint's header fingerprint does not identify the
+    campaign being run (different adapter, netlist hash, seed ...).
+
+    Derives from both :class:`ConfigError` (it is a configuration
+    problem: the wrong checkpoint was supplied) and
+    :class:`CampaignError` (historical callers catch the latter).
+    ``--force`` / ``force=True`` overrides the check deliberately.
+    """
+
+
+class IntegrityError(CampaignError):
+    """A campaign invariant was violated (see
+    :func:`repro.runtime.integrity.verify_campaign`): a unit graded
+    twice or not at all, an illegal status, a report diverging from its
+    golden twin, orphaned scratch files, or a broken checkpoint chain."""
 
 
 class UnitTimeout(ReproError):

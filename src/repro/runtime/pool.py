@@ -41,10 +41,13 @@ from __future__ import annotations
 import glob
 import json
 import os
+import time
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.runtime import chaos
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.errors import ConfigError
+from repro.runtime.integrity import chain_digest
 
 #: Module-level context published by the parent immediately before the
 #: pool forks; inherited copy-on-write by every worker.
@@ -97,38 +100,74 @@ def shard_path_for(checkpoint_path: str, pid: int) -> str:
     return f"{checkpoint_path}.shard-{pid}"
 
 
+def iter_shard_records(path: str):
+    """Yield the trustworthy records of one worker shard, in order.
+
+    Shards carry the same per-record integrity chain as the canonical
+    checkpoint; when the shard's header chain is intact, the walk stops
+    at the first record that breaks it (corrupted, edited or torn —
+    everything after it is untrusted).  A shard without a verifiable
+    header (legacy or hand-built) degrades to the permissive walk:
+    parseable records in, garbage and partial tails silently out.
+    """
+    from repro.runtime.checkpoint import HEADER_KIND
+
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            lines = handle.read().split("\n")
+    except OSError:
+        return
+    tail = None
+    if lines:
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            header = None
+        if isinstance(header, dict) and header.get("kind") == HEADER_KIND \
+                and header.get("chain") == chain_digest("", header):
+            tail = header["chain"]
+    for line in lines:
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # killed mid-write: drop the partial tail
+        if not isinstance(record, dict) or "unit" not in record:
+            continue  # the shard header, or garbage
+        if tail is not None:
+            if record.get("chain") != chain_digest(tail, record):
+                return  # chain broken: nothing after this is trusted
+            tail = record["chain"]
+        yield record
+
+
 def merge_shards(store: CheckpointStore,
                  completed: Dict[str, Dict[str, Any]]) -> int:
     """Fold leftover worker shards into the canonical checkpoint.
 
     Every intact record not already in ``completed`` is appended to the
     canonical file and added to ``completed``; unparseable tails (a
-    worker killed mid-write) are skipped silently, mirroring
-    ``load(repair=True)``.  Consumed shards are deleted.  Returns the
-    number of records merged.
+    worker killed mid-write) and chain-breaking records are skipped,
+    mirroring ``load(repair=True)``.  Consumed shards are deleted.
+    Returns the number of records merged.
     """
+    paths = shard_paths(store.path)
+    # Chaos "shard_loss": a shard vanishes before its records are
+    # merged — the campaign must simply re-run the lost units.
+    chaos.inject("pool.merge", paths=paths)
     merged = 0
-    for path in shard_paths(store.path):
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                lines = handle.read().split("\n")
-        except OSError:
-            continue
-        for line in lines:
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue  # killed mid-write: drop the partial tail
-            if not isinstance(record, dict) or "unit" not in record:
-                continue  # the shard header, or garbage
+    for path in paths:
+        for record in iter_shard_records(path):
             if record["unit"] in completed:
                 continue
             completed[record["unit"]] = record
             store.append(record)
             merged += 1
-        os.remove(path)
+        try:
+            os.remove(path)
+        except OSError:
+            pass  # e.g. already removed by an injected shard loss
     return merged
 
 
@@ -179,6 +218,10 @@ def _worker_run(index: int) -> Dict[str, Any]:
     """Grade one pending unit (by index) and return its result record."""
     state = _WORKER_STATE
     unit = _POOL_CONTEXT["units"][index]
+    # Chaos "kill_worker": a real SIGKILL of this worker process,
+    # mid-unit — the parent's stall detection must notice the death,
+    # salvage what completed, and finish the remainder serially.
+    chaos.inject("pool.worker.unit", unit_id=unit.unit_id)
     result = state["runner"]._run_unit(unit)
     record = result.record()
     if state["shard"] is not None:
@@ -226,18 +269,43 @@ def run_pooled(
         },
     }
     jobs = min(runner.jobs, len(pending))
-    # Work-stealing granularity: several chunks per worker, so a slow
-    # chunk cannot straggle the campaign.
-    chunksize = max(1, len(pending) // (jobs * 4))
     results: Dict[str, Any] = {}
     total = total if total is not None else len(pending)
+    stall_budget = _stall_budget(runner)
     context = multiprocessing.get_context("fork")
     try:
         with context.Pool(jobs, initializer=_worker_init) as pool:
+            # chunksize must stay 1: with a larger chunk the pool returns
+            # a flattening *generator* instead of the IMapUnorderedIterator
+            # whose ``next(timeout)`` the dead-worker poll below needs.
+            # (It is also the finest work-stealing granularity — a slow
+            # unit cannot straggle a whole chunk.)
             stream = pool.imap_unordered(
-                _worker_run, range(len(pending)), chunksize=chunksize
+                _worker_run, range(len(pending)), chunksize=1
             )
-            for done, record in enumerate(stream, start=1):
+            done = 0
+            last_progress = time.monotonic()
+            while done < len(pending):
+                # `multiprocessing.Pool` silently respawns a SIGKILLed
+                # worker but never redelivers the task it was holding —
+                # a plain `for record in stream` would block forever.
+                # Poll with a timeout and bail once a worker has died
+                # and no result has arrived within the stall budget;
+                # the runner re-runs the lost units serially.
+                try:
+                    record = stream.next(timeout=_POOL_POLL_SECONDS)
+                except StopIteration:
+                    break
+                except multiprocessing.TimeoutError:
+                    stalled = time.monotonic() - last_progress
+                    if _pool_has_dead_worker(pool) \
+                            and stalled >= stall_budget:
+                        raise BrokenPipeError(
+                            "pool worker died; abandoning the pool"
+                        )
+                    continue
+                done += 1
+                last_progress = time.monotonic()
                 result = UnitResult.from_record(record, resumed=False)
                 results[result.unit_id] = result
                 if runner.store is not None:
@@ -258,3 +326,33 @@ def run_pooled(
             # Every shard record is in the canonical checkpoint now.
             remove_shards(checkpoint)
     return results
+
+
+#: How often the parent polls the result stream for worker death.
+_POOL_POLL_SECONDS = 0.25
+
+
+def _stall_budget(runner) -> float:
+    """Seconds without progress (while a worker is dead) before the
+    pool is abandoned.  Derived from the per-unit retry/backoff budget
+    when the runner does not pin ``pool_stall_timeout`` explicitly."""
+    if runner.pool_stall_timeout is not None:
+        return runner.pool_stall_timeout
+    if runner.unit_timeout is not None:
+        per_attempt = runner.unit_timeout * (runner.max_retries + 2)
+        return max(5.0, (per_attempt + sum(runner.backoff_schedule())) * 4)
+    return 60.0
+
+
+def _pool_has_dead_worker(pool) -> bool:
+    """Whether any pool process has exited (SIGKILL, hard crash).
+
+    Reads the pool's private process list — there is no public API for
+    this short of ``concurrent.futures`` (whose ``BrokenProcessPool``
+    machinery cannot run closures over forked state).  Defensive:
+    treats an unreadable pool as healthy.
+    """
+    try:
+        return any(p.exitcode is not None for p in pool._pool)
+    except Exception:  # noqa: BLE001 — private API, best effort
+        return False

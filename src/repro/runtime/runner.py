@@ -37,9 +37,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.runtime import chaos
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.errors import (
     CampaignError,
+    FingerprintMismatchError,
     ReproError,
     UnitTimeout,
 )
@@ -131,12 +133,17 @@ class CampaignReport:
     def by_status(self, status: str) -> List[UnitResult]:
         return [r for r in self.results.values() if r.status == status]
 
+    @property
+    def n_leaked_threads(self) -> int:
+        return sum(r.leaked_threads for r in self.results.values())
+
     def counts(self) -> Dict[str, int]:
         """The accounting row benchmarks and the CLI report."""
         counts = {status: len(self.by_status(status)) for status in STATUSES}
         counts.update(
             total=len(self.results), executed=self.n_executed,
             resumed=self.n_resumed, retried=self.n_retried,
+            leaked=self.n_leaked_threads,
         )
         return counts
 
@@ -144,7 +151,8 @@ class CampaignReport:
         c = self.counts()
         text = (f"{c['total']} units: {c['ok']} ok, "
                 f"{c['degraded']} degraded, {c['quarantined']} quarantined "
-                f"({c['resumed']} resumed, {c['retried']} retried)")
+                f"({c['resumed']} resumed, {c['retried']} retried, "
+                f"{c['leaked']} threads leaked)")
         if self.interrupted:
             text += " [interrupted]"
         return text
@@ -212,12 +220,17 @@ class CampaignRunner:
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
         jobs: Optional[int] = 1,
+        pool_stall_timeout: Optional[float] = None,
     ):
         from repro.runtime.pool import resolve_jobs
         if max_retries < 0:
             raise CampaignError("max_retries must be >= 0")
         self.store = CheckpointStore(checkpoint) if checkpoint else None
         self.unit_timeout = unit_timeout
+        #: Give up on the process pool after this many seconds without a
+        #: completed unit *while a worker is dead* (``None`` = derive a
+        #: bound from the retry/backoff budget; see ``pool.run_pooled``).
+        self.pool_stall_timeout = pool_stall_timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
@@ -250,14 +263,19 @@ class CampaignRunner:
         max_units: Optional[int] = None,
         progress: Optional[Callable[[UnitResult, int, int], None]] = None,
         warmup: Optional[Callable[[], Any]] = None,
+        force: bool = False,
     ) -> CampaignReport:
         """Execute ``units``, honouring the checkpoint when resuming.
 
         ``fingerprint`` identifies the workload; a resumed checkpoint
-        whose header fingerprint differs raises :class:`CampaignError`
-        (the checkpoint belongs to a different campaign).  ``max_units``
-        stops after that many fresh executions — the deterministic
-        stand-in for a kill signal in tests and for incremental runs.
+        whose header fingerprint differs raises
+        :class:`FingerprintMismatchError` — the checkpoint belongs to a
+        different campaign (different adapter, netlist hash, seed ...)
+        and silently mixing its records into this one would fabricate
+        results.  ``force=True`` overrides the check deliberately (the
+        CLI's ``--force``).  ``max_units`` stops after that many fresh
+        executions — the deterministic stand-in for a kill signal in
+        tests and for incremental runs.
 
         ``warmup`` is invoked once before any unit executes under the
         process-pool backend (``jobs > 1``): campaigns use it to build
@@ -279,10 +297,12 @@ class CampaignRunner:
             if resume and self.store.exists():
                 header, completed = self.store.load(repair=repair)
                 recorded = header.get("fingerprint") or {}
-                if fingerprint is not None and recorded != fingerprint:
-                    raise CampaignError(
+                if fingerprint is not None and recorded != fingerprint \
+                        and not force:
+                    raise FingerprintMismatchError(
                         "checkpoint fingerprint mismatch: file has "
-                        f"{recorded!r}, campaign expects {fingerprint!r}"
+                        f"{recorded!r}, campaign expects {fingerprint!r} "
+                        "(resume with force to override)"
                     )
                 # A previous pooled run killed mid-campaign may have left
                 # worker shards holding records the canonical checkpoint
@@ -422,6 +442,15 @@ class CampaignRunner:
         last_error: Optional[BaseException] = None
         unit_threads: List[threading.Thread] = []
 
+        # Chaos injection (no-op unless a ChaosMonkey is installed):
+        # "kill" raises ChaosKill here — mid-campaign, before this
+        # unit's record can be written, exactly like a real SIGKILL —
+        # and "hang" makes the first attempt block past unit_timeout.
+        fired = chaos.inject("runner.unit", unit_id=unit.unit_id)
+        run_fn = unit.run
+        if fired == "hang" and self.unit_timeout:
+            run_fn = chaos.hanging(unit.run, self.unit_timeout)
+
         def finish(result: UnitResult) -> UnitResult:
             result.leaked_threads = sum(
                 1 for t in unit_threads if t.is_alive()
@@ -433,7 +462,7 @@ class CampaignRunner:
             if attempt:
                 self.sleep(self.backoff_schedule()[attempt - 1])
             try:
-                value = call_with_timeout(unit.run, self.unit_timeout)
+                value = call_with_timeout(run_fn, self.unit_timeout)
                 return finish(UnitResult(
                     unit_id=unit.unit_id, status="ok", value=value,
                     attempts=attempt + 1, timeouts=timeouts,
@@ -452,6 +481,9 @@ class CampaignRunner:
         if unit.fallback is not None and timeouts:
             # Repeated timeouts: degrade to the cheaper implementation.
             try:
+                # Chaos "backend": the cheaper implementation blows up
+                # mid-degradation; the unit must quarantine, not abort.
+                chaos.inject("runner.fallback", unit_id=unit.unit_id)
                 fallback_budget = self.fallback_timeout
                 value = call_with_timeout(unit.fallback, fallback_budget)
                 return finish(UnitResult(

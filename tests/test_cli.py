@@ -90,6 +90,52 @@ def test_grade_rejects_bad_jobs(capsys):
     assert "jobs" in capsys.readouterr().err
 
 
+def test_grade_summary_surfaces_health_counts(tmp_path, capsys):
+    """The one-line campaign summary exposes degradation, quarantine,
+    retry and leaked-thread accounting at a glance."""
+    checkpoint = tmp_path / "grade.jsonl"
+    assert main(["grade", "--samples", "30", "--good", "2",
+                 "--iterations", "2", "--checkpoint", str(checkpoint)]) == 0
+    out = capsys.readouterr().out
+    assert "degraded" in out and "quarantined" in out
+    assert "retried" in out and "threads leaked" in out
+
+
+def test_grade_force_overrides_fingerprint_mismatch(tmp_path, capsys):
+    checkpoint = tmp_path / "grade.jsonl"
+    base = ["grade", "--samples", "30", "--good", "2",
+            "--checkpoint", str(checkpoint)]
+    assert main(base + ["--iterations", "2"]) == 0
+    capsys.readouterr()
+    # A different workload against the same checkpoint: refused...
+    assert main(base + ["--iterations", "3", "--resume"]) == 2
+    err = capsys.readouterr().err
+    assert "fingerprint mismatch" in err and "force" in err
+    # ... unless forced.
+    assert main(base + ["--iterations", "3", "--resume", "--force"]) == 0
+    assert "faults detected" in capsys.readouterr().out
+
+
+def test_chaos_command_clean_soak(tmp_path, capsys):
+    report_file = tmp_path / "soak.json"
+    assert main(["chaos", "--seed", "11", "--campaigns", "2",
+                 "--units", "8", "--inject", "kill,torn,corrupt",
+                 "--scratch", str(tmp_path / "scratch"),
+                 "--report", str(report_file), "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos soak" in out
+    assert "0 invariant violations" in out
+    assert report_file.exists()
+    import json
+    doc = json.loads(report_file.read_text())
+    assert doc["violations"] == 0 and doc["crashes"] >= 2
+
+
+def test_chaos_rejects_unknown_class(capsys):
+    assert main(["chaos", "--seed", "1", "--inject", "gremlins"]) == 2
+    assert "unknown chaos class" in capsys.readouterr().err
+
+
 def test_invalid_repro_scale_exits_cleanly(monkeypatch, capsys):
     monkeypatch.setenv("REPRO_SCALE", "bogus")
     assert main(["isa"]) == 2

@@ -100,3 +100,65 @@ def test_from_doc_defaults():
     config = CampaignConfig.from_doc({"name": "x"})
     assert config.jobs == 1 and config.max_retries == 2
     assert config.checkpoint is None and config.unit_timeout is None
+
+
+# ----------------------------------------------------------------------
+# CMP004 — chaos-injection policies
+# ----------------------------------------------------------------------
+def test_cmp004_clean_chaos_block_passes(tmp_path):
+    config = CampaignConfig(
+        name="soak", checkpoint=str(tmp_path / "soak.jsonl"),
+        chaos={"seed": 7, "probability": 0.25,
+               "scratch": str(tmp_path / "scratch")},
+    )
+    assert lint_campaigns([config]).findings == []
+
+
+def test_cmp004_certain_probability_flagged(tmp_path):
+    config = CampaignConfig(
+        name="soak", checkpoint=str(tmp_path / "soak.jsonl"),
+        chaos={"seed": 7, "probability": 1.0},
+    )
+    report = lint_campaigns([config])
+    cmp004 = [f for f in report if f.rule == "CMP004"]
+    assert len(cmp004) == 1
+    assert cmp004[0].severity is Severity.ERROR
+    assert "probability" in cmp004[0].location
+
+
+def test_cmp004_missing_seed_flagged(tmp_path):
+    config = CampaignConfig(
+        name="soak", checkpoint=str(tmp_path / "soak.jsonl"),
+        chaos={"probability": 0.25},
+    )
+    report = lint_campaigns([config])
+    assert [f.location for f in report if f.rule == "CMP004"] \
+        == ["campaign:soak:chaos.seed"]
+
+
+def test_cmp004_checkpoint_inside_scratch_flagged(tmp_path):
+    scratch = tmp_path / "scratch"
+    scratch.mkdir()
+    config = CampaignConfig(
+        name="soak", checkpoint=str(scratch / "soak.jsonl"),
+        chaos={"seed": 7, "scratch": str(scratch)},
+    )
+    report = lint_campaigns([config])
+    cmp004 = [f for f in report if f.rule == "CMP004"]
+    assert len(cmp004) == 1
+    assert "scratch" in cmp004[0].message
+
+
+def test_cmp004_non_object_chaos_block_flagged():
+    report = lint_campaigns([CampaignConfig(name="a", chaos=[1, 2])])
+    assert {f.rule for f in report} == {"CMP004"}
+
+
+def test_cmp004_no_chaos_block_is_silent():
+    assert lint_campaigns([CampaignConfig(name="a")]).findings == []
+
+
+def test_from_doc_carries_chaos_block():
+    config = CampaignConfig.from_doc(
+        {"name": "x", "chaos": {"seed": 1}})
+    assert config.chaos == {"seed": 1}

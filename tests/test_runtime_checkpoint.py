@@ -120,6 +120,91 @@ def test_corrupt_error_is_repro_error(tmp_path):
         CheckpointStore(str(tmp_path / "nope.jsonl")).load()
 
 
+# ----------------------------------------------------------------------
+# Stale-tmp sweep (crash between write and os.replace)
+# ----------------------------------------------------------------------
+def test_stale_tmp_swept_on_create(tmp_path):
+    path = str(tmp_path / "campaign.jsonl")
+    with open(path + ".tmp", "w") as handle:
+        handle.write('{"kind": "half-written hea')
+    store = CheckpointStore(path)
+    store.create({"n": 1})
+    assert not os.path.exists(path + ".tmp")
+
+
+def test_stale_tmp_swept_on_load(tmp_path):
+    store = make_store(tmp_path, [{"unit": "a", "status": "ok"}])
+    with open(store.path + ".tmp", "w") as handle:
+        handle.write('{"kind": "half-written hea')
+    store.load()
+    assert not os.path.exists(store.path + ".tmp")
+
+
+# ----------------------------------------------------------------------
+# Integrity chain
+# ----------------------------------------------------------------------
+def test_silent_value_edit_breaks_chain(tmp_path):
+    """JSON-valid tampering (undetectable by parsing alone) is caught."""
+    store = make_store(tmp_path, [
+        {"unit": "a", "status": "ok", "value": 7},
+        {"unit": "b", "status": "ok", "value": 8},
+    ])
+    with open(store.path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    with open(store.path, "w", encoding="utf-8") as handle:
+        handle.write(text.replace('"value": 7', '"value": 9'))
+    with pytest.raises(CheckpointCorruptError, match="chain"):
+        store.load()
+    # Repair discards from the edited record on — it is untrusted, and
+    # so is everything chained after it.
+    _, records = store.load(repair=True)
+    assert set(records) == set()
+
+
+def test_duplicated_trailing_record_breaks_chain(tmp_path):
+    store = make_store(tmp_path, [{"unit": "a", "status": "ok"}])
+    with open(store.path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle.read().split("\n") if line]
+    with open(store.path, "a", encoding="utf-8") as handle:
+        handle.write(lines[-1] + "\n")
+    with pytest.raises(CheckpointCorruptError, match="chain"):
+        store.load()
+    _, records = store.load(repair=True)
+    assert set(records) == {"a"}
+
+
+def test_invalid_utf8_flip_is_corruption_not_decode_error(tmp_path):
+    store = make_store(tmp_path, [{"unit": "a", "status": "ok"}])
+    with open(store.path, "rb") as handle:
+        data = bytearray(handle.read())
+    data[-5] |= 0x80  # no longer valid UTF-8
+    with open(store.path, "wb") as handle:
+        handle.write(data)
+    with pytest.raises(CheckpointCorruptError):
+        store.load()
+
+
+def test_append_rechains_stale_shard_digest(tmp_path):
+    """A record replayed from a worker shard carries the *shard's* chain
+    digest; append must recompute it onto this file's tail."""
+    store = make_store(tmp_path)
+    store.append({"unit": "a", "status": "ok",
+                  "chain": "deadbeefdeadbeef"})
+    store.close()
+    _, records = store.load()   # chain verifies
+    assert records["a"]["chain"] != "deadbeefdeadbeef"
+
+
+def test_header_tamper_detected(tmp_path):
+    store = make_store(tmp_path)
+    with open(store.path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    with open(store.path, "w", encoding="utf-8") as handle:
+        handle.write(text.replace('"n": 3', '"n": 4'))
+    with pytest.raises(CheckpointCorruptError, match="header"):
+        store.load()
+
+
 def test_context_manager_closes_handle(tmp_path):
     store = make_store(tmp_path)
     with store:

@@ -60,7 +60,8 @@ def test_run_all_ok():
     report = runner.run(ok_units(4))
     counts = report.counts()
     assert counts == {"ok": 4, "degraded": 0, "quarantined": 0,
-                      "total": 4, "executed": 4, "resumed": 0, "retried": 0}
+                      "total": 4, "executed": 4, "resumed": 0,
+                      "retried": 0, "leaked": 0}
     assert report.value("u2") == 20
     assert report["u0"].status == "ok"
     assert not report.interrupted
@@ -240,7 +241,7 @@ def test_resume_without_existing_checkpoint_starts_fresh(tmp_path):
     report = runner.run(ok_units(2), fingerprint={"n": 2}, resume=True)
     assert report.counts() == {"ok": 2, "degraded": 0, "quarantined": 0,
                                "total": 2, "executed": 2, "resumed": 0,
-                               "retried": 0}
+                               "retried": 0, "leaked": 0}
 
 
 def test_run_without_resume_restarts_campaign(tmp_path):

@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro import obs
 from repro.harness.experiments import scaled
 from repro.harness.perf import BENCH_FILENAME, PerfTrajectory, cache_delta
 from repro.runtime.cache import cache_stats, clear_caches
@@ -31,12 +32,19 @@ from repro.runtime.pool import resolve_jobs
 
 
 def measure(trajectory, experiment, label, jobs, build):
-    """Time one campaign run and record its sample."""
+    """Time one campaign run and record its sample.
+
+    Runs under a profile-only observability session, so the sample's
+    ``meta`` carries the per-phase wall-clock breakdown
+    (``CampaignReport.timings``) alongside the aggregate cache rates.
+    """
     clear_caches()
     before = cache_stats()
     campaign = build(jobs)
     start = time.perf_counter()
-    outcome = campaign.run()
+    with obs.enabled_session(trace=False, metrics=False, profile=True,
+                             seed=2004):
+        outcome = campaign.run()
     elapsed = time.perf_counter() - start
     counts = outcome.report.counts()
     sample = trajectory.record(
@@ -44,6 +52,7 @@ def measure(trajectory, experiment, label, jobs, build):
         units=counts["executed"], wall_seconds=round(elapsed, 3),
         cache=cache_delta(before, cache_stats()),
         degraded=counts["degraded"], quarantined=counts["quarantined"],
+        timings=outcome.report.timings,
     )
     print(f"  {label:<24} {elapsed:8.2f}s  "
           f"{sample.units_per_second:8.1f} units/s  "

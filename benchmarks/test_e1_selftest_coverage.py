@@ -11,6 +11,7 @@ fault coverage.
 
 import time
 
+from repro import obs
 from repro.atpg.podem import Podem
 from repro.faults.coverage import coverage_curve
 from repro.faults.hierarchical import ComponentFault
@@ -48,13 +49,18 @@ def test_selftest_fault_coverage(benchmark, selftest):
     campaign = HierarchicalCampaign(words, jobs=None)
     cache_before = cache_stats()
     start = time.perf_counter()
-    outcome = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+    # Profile-only observability session: the recorded sample carries the
+    # per-phase timing breakdown (prepare / grade / tier-2 checks) in meta.
+    with obs.enabled_session(trace=False, metrics=False, profile=True,
+                             seed=2004):
+        outcome = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
     TRAJECTORY.record(
         experiment="E1", label=f"grade jobs={campaign.runner.jobs}",
         jobs=campaign.runner.jobs,
         units=outcome.report.counts()["executed"],
         wall_seconds=round(time.perf_counter() - start, 3),
         cache=cache_delta(cache_before, cache_stats()),
+        timings=outcome.report.timings,
     )
     result = outcome.result
     report = result.coverage_report("self test")

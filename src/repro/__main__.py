@@ -75,30 +75,154 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _print_timings(timings) -> None:
+    from repro.harness.reporting import format_table
+    rows = [
+        (name, entry["calls"], f"{entry['seconds']:.3f}")
+        for name, entry in sorted(
+            timings.items(), key=lambda kv: -kv[1]["seconds"])
+    ]
+    print("per-phase timings:")
+    print(format_table(("section", "calls", "seconds"), rows))
+
+
+def _export_trace(session, args) -> None:
+    """Write the armed session's trace file(s) and a summary line."""
+    if getattr(args, "trace", None):
+        n = session.tracer.write_jsonl(args.trace)
+        print(f"trace: {n} spans -> {args.trace}")
+    if getattr(args, "chrome", None):
+        n = session.tracer.write_chrome(args.chrome)
+        print(f"chrome trace: {n} events -> {args.chrome}")
+
+
 def _cmd_grade(args) -> int:
+    from repro import obs
     from repro.runtime.campaigns import HierarchicalCampaign
     from repro.selftest.vectors import expand_program
-    selftest = _build_selftest(args)
-    words = expand_program(selftest.program, args.iterations)
-    action = "resuming" if args.resume else "grading"
-    print(f"{action} {len(words)} vectors ...")
-    campaign = HierarchicalCampaign(
-        words,
-        checkpoint=args.checkpoint,
-        unit_timeout=args.unit_timeout,
-        jobs=args.jobs,
-    )
-    outcome = campaign.run(resume=args.resume, max_units=args.max_units,
-                           force=args.force)
-    if outcome.report.interrupted:
-        print(f"campaign interrupted: {outcome.report.summary()}")
-        print("re-run with --resume to finish the remaining units")
-        return 3
-    report = outcome.result.coverage_report("self test")
-    print(report)
-    print(f"campaign: {outcome.report.summary()}")
-    print(f"test time at 500 MHz: {report.test_time_seconds() * 1e3:.3f} ms")
-    return 0
+
+    session = None
+    if args.trace or args.chrome:
+        session = obs.configure(seed=2004)
+    try:
+        selftest = _build_selftest(args)
+        words = expand_program(selftest.program, args.iterations)
+        action = "resuming" if args.resume else "grading"
+        print(f"{action} {len(words)} vectors ...")
+        campaign = HierarchicalCampaign(
+            words,
+            checkpoint=args.checkpoint,
+            unit_timeout=args.unit_timeout,
+            jobs=args.jobs,
+        )
+        outcome = campaign.run(resume=args.resume, max_units=args.max_units,
+                               force=args.force)
+        if session is not None:
+            _export_trace(session, args)
+            if outcome.report.timings:
+                _print_timings(outcome.report.timings)
+        if outcome.report.interrupted:
+            print(f"campaign interrupted: {outcome.report.summary()}")
+            print("re-run with --resume to finish the remaining units")
+            return 3
+        report = outcome.result.coverage_report("self test")
+        print(report)
+        print(f"campaign: {outcome.report.summary()}")
+        print(f"test time at 500 MHz: "
+              f"{report.test_time_seconds() * 1e3:.3f} ms")
+        return 0
+    finally:
+        if session is not None:
+            obs.disable()
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace <campaign>``: run a small campaign with tracing on
+    (``grade``/``metrics``) or validate an existing trace (``check``)."""
+    from repro import obs
+
+    if args.campaign == "check":
+        from repro.obs.schema import validate_trace_file
+        from repro.runtime.errors import ConfigError
+        if not args.file:
+            raise ConfigError("trace check requires a trace file argument")
+        counts, errors = validate_trace_file(args.file)
+        print(f"{args.file}: {counts['spans']} spans, "
+              f"{counts['points']} points")
+        if errors:
+            for error in errors[:20]:
+                print(f"  schema error: {error}", file=sys.stderr)
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more",
+                      file=sys.stderr)
+            return 1
+        print("schema: OK")
+        return 0
+
+    if args.file:
+        from repro.runtime.errors import ConfigError
+        raise ConfigError(
+            f"trace {args.campaign} takes no file argument "
+            f"(use --trace to choose the output path)")
+
+    session = obs.configure(seed=2004)
+    try:
+        if args.campaign == "grade":
+            from repro.runtime.campaigns import HierarchicalCampaign
+            from repro.selftest.vectors import expand_program
+            selftest = _build_selftest(args)
+            words = expand_program(selftest.program, args.iterations)
+            campaign = HierarchicalCampaign(words, jobs=args.jobs)
+            outcome = campaign.run()
+        else:  # metrics
+            from repro.runtime.campaigns import MetricsCampaign
+            campaign = MetricsCampaign(
+                n_controllability_samples=args.samples,
+                n_observability_good=args.good,
+                jobs=args.jobs,
+            )
+            outcome = campaign.run()
+        print(f"campaign: {outcome.report.summary()}")
+        _export_trace(session, args)
+        if outcome.report.timings:
+            _print_timings(outcome.report.timings)
+        return 0
+    finally:
+        obs.disable()
+
+
+def _cmd_profile(args) -> int:
+    """``repro profile``: per-phase / per-simulator timing breakdown of
+    the generate → grade flow."""
+    from repro import obs
+    from repro.harness.reporting import format_table
+    from repro.runtime.campaigns import HierarchicalCampaign
+    from repro.selftest.vectors import expand_program
+
+    session = obs.configure(trace=False, metrics=True, profile=True,
+                            seed=2004)
+    try:
+        selftest = _build_selftest(args)
+        words = expand_program(selftest.program, args.iterations)
+        campaign = HierarchicalCampaign(words, jobs=args.jobs)
+        campaign.run()
+        rows = [
+            (name, calls, f"{seconds:.3f}", f"{mean_ms:.2f}")
+            for name, calls, seconds, mean_ms in session.profiler.rows()
+        ]
+        print(format_table(("section", "calls", "seconds", "mean ms"),
+                           rows))
+        counters = session.registry.snapshot()["counters"] \
+            if session.registry is not None else {}
+        cache_lines = {k: v for k, v in sorted(counters.items())
+                       if k.startswith("cache.")}
+        if cache_lines:
+            print("cache counters:")
+            for name, value in cache_lines.items():
+                print(f"  {name:<24}{value}")
+        return 0
+    finally:
+        obs.disable()
 
 
 def _cmd_chaos(args) -> int:
@@ -247,6 +371,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_table_options(p)
     p.set_defaults(func=_cmd_generate)
 
+    def add_trace_options(p_):
+        p_.add_argument("--trace", metavar="FILE",
+                        help="write a JSONL span trace of the campaign "
+                             "(schema repro.trace/1; includes every "
+                             "worker process under --jobs)")
+        p_.add_argument("--chrome", metavar="FILE",
+                        help="also write a Chrome trace-event JSON "
+                             "(load in chrome://tracing or Perfetto)")
+
     p = sub.add_parser("grade",
                        help="generate and fault-grade the self-test")
     p.add_argument("--samples", type=int, default=100)
@@ -254,7 +387,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=100)
     add_table_options(p)
     add_campaign_options(p)
+    add_trace_options(p)
     p.set_defaults(func=_cmd_grade)
+
+    p = sub.add_parser("trace",
+                       help="trace a campaign (grade/metrics) or "
+                            "validate an existing trace file (check)")
+    p.add_argument("campaign", choices=("grade", "metrics", "check"),
+                   help="campaign to trace, or 'check' to validate")
+    p.add_argument("file", nargs="?",
+                   help="trace file to validate (check only)")
+    p.add_argument("--samples", type=int, default=20)
+    p.add_argument("--good", type=int, default=2)
+    p.add_argument("--iterations", type=int, default=2)
+    p.add_argument("--jobs", metavar="N",
+                   help="worker processes (integer or 'auto')")
+    p.add_argument("--trace", metavar="FILE", default="trace.jsonl",
+                   help="JSONL trace output path (default trace.jsonl)")
+    p.add_argument("--chrome", metavar="FILE",
+                   help="also write a Chrome trace-event JSON")
+    add_table_options(p)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("profile",
+                       help="per-phase / per-simulator timing breakdown "
+                            "of the generate -> grade flow")
+    p.add_argument("--samples", type=int, default=20)
+    p.add_argument("--good", type=int, default=2)
+    p.add_argument("--iterations", type=int, default=2)
+    p.add_argument("--jobs", metavar="N",
+                   help="worker processes (integer or 'auto')")
+    add_table_options(p)
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("chaos",
                        help="seeded fault-injection soak of the campaign "

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.runtime.errors import ConfigError
 from repro.logic.gates import eval_gate
 from repro.logic.netlist import Gate, Netlist
@@ -82,11 +83,12 @@ class CombFaultSimulator:
         from repro.runtime.cache import cached_good_values
 
         def compute() -> List[int]:
-            packed: Dict[int, int] = {}
-            for name, words in bus_patterns.items():
-                for i, net in enumerate(self.netlist.buses[name]):
-                    packed[net] = pack_patterns(words, i)
-            return self._compiled.run(packed, n_patterns)
+            with obs.section("sim.comb.good_machine"):
+                packed: Dict[int, int] = {}
+                for name, words in bus_patterns.items():
+                    for i, net in enumerate(self.netlist.buses[name]):
+                        packed[net] = pack_patterns(words, i)
+                return self._compiled.run(packed, n_patterns)
 
         return cached_good_values(self.netlist, bus_patterns, n_patterns,
                                   compute)
@@ -128,11 +130,14 @@ class CombFaultSimulator:
         if len(lengths) != 1:
             raise ConfigError("all pattern buses must have equal length")
         n_patterns = lengths.pop()
-        good = self.good_values(bus_patterns, n_patterns)
-        result: Dict[Fault, int] = {}
-        for fault in (faults if faults is not None else self.fault_list.faults):
-            mask, _ = self.simulate_fault(fault, good, n_patterns)
-            result[fault] = mask
+        with obs.section("sim.comb.detect"):
+            good = self.good_values(bus_patterns, n_patterns)
+            result: Dict[Fault, int] = {}
+            for fault in (faults if faults is not None
+                          else self.fault_list.faults):
+                mask, _ = self.simulate_fault(fault, good, n_patterns)
+                result[fault] = mask
+        obs.incr("sim.comb.faults_graded", len(result))
         return result
 
     def run_with_dropping(
@@ -148,20 +153,22 @@ class CombFaultSimulator:
         remaining = list(faults if faults is not None else self.fault_list.faults)
         first_detect: Dict[Fault, Optional[int]] = {f: None for f in remaining}
         offset = 0
-        for block in blocks:
-            if not remaining:
-                break
-            n_patterns = len(next(iter(block.values())))
-            good = self.good_values(block, n_patterns)
-            still: List[Fault] = []
-            for fault in remaining:
-                mask, _ = self.simulate_fault(fault, good, n_patterns)
-                if mask:
-                    first_detect[fault] = offset + (mask & -mask).bit_length() - 1
-                else:
-                    still.append(fault)
-            remaining = still
-            offset += n_patterns
+        with obs.section("sim.comb.run_with_dropping"):
+            for block in blocks:
+                if not remaining:
+                    break
+                n_patterns = len(next(iter(block.values())))
+                good = self.good_values(block, n_patterns)
+                still: List[Fault] = []
+                for fault in remaining:
+                    mask, _ = self.simulate_fault(fault, good, n_patterns)
+                    if mask:
+                        first_detect[fault] = \
+                            offset + (mask & -mask).bit_length() - 1
+                    else:
+                        still.append(fault)
+                remaining = still
+                offset += n_patterns
         return first_detect
 
     def faulty_output_word(self, fault: Fault,

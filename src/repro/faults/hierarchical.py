@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro._util import mask
 from repro.runtime.errors import ConfigError
 from repro.dsp.components import COMPONENTS, ComponentSpec
@@ -416,6 +417,11 @@ class HierarchicalFaultSimulator:
     def prepare(self, words: List[int]) -> TraceContext:
         """One fault-free pass: record ports, checkpoints and per-block
         component input streams."""
+        with obs.span("hier.prepare", words=len(words)), \
+                obs.section("sim.hier.prepare"):
+            return self._prepare(words)
+
+    def _prepare(self, words: List[int]) -> TraceContext:
         names = list(self.universe.comb_faults)
         core = DspCore()
         clean_ports: List[int] = []
@@ -456,6 +462,11 @@ class HierarchicalFaultSimulator:
         injection — the purely behavioural mode the campaign runner
         degrades to when the exact check repeatedly times out.
         """
+        with obs.section("sim.hier.grade_comb"):
+            return self._grade_comb_fault(ctx, name, fault, continuous)
+
+    def _grade_comb_fault(self, ctx: TraceContext, name: str, fault: Fault,
+                          continuous: bool) -> Optional[int]:
         from repro.logic.simulator import unpack_output
 
         sim = self.universe.comb_simulators[name]
@@ -531,6 +542,7 @@ class HierarchicalFaultSimulator:
         """Exact mixed-level check: the component's output is overridden
         *every* cycle of the window with its gate-level faulty evaluation
         under the fork's live inputs."""
+        obs.incr("sim.hier.tier2_checks")
         fork = self._fork_at(ctx, t)
 
         def faulty_output(inputs: Dict[str, int]) -> int:
@@ -549,10 +561,11 @@ class HierarchicalFaultSimulator:
                             max_cycles: Optional[int] = None
                             ) -> Optional[int]:
         """Differential word-level run for one storage fault."""
-        limit = len(ctx.words) if max_cycles is None \
-            else min(max_cycles, len(ctx.words))
-        faulty = storage_fault_core(fault)
-        for t in range(limit):
-            if faulty.step(ctx.words[t]).port != ctx.clean_ports[t]:
-                return t
-        return None
+        with obs.section("sim.hier.grade_storage"):
+            limit = len(ctx.words) if max_cycles is None \
+                else min(max_cycles, len(ctx.words))
+            faulty = storage_fault_core(fault)
+            for t in range(limit):
+                if faulty.step(ctx.words[t]).port != ctx.clean_ports[t]:
+                    return t
+            return None

@@ -25,10 +25,18 @@ The JSON document layout::
 for any sample whose ``(experiment, jobs=1)`` twin is present; samples
 without a serial twin keep ``null`` rather than inventing a baseline.
 
-Caveat on ``cache`` under ``jobs > 1``: the hit/miss counters are
-per-process, so a pooled sample's numbers cover the parent only (the
-pre-fork warmup); hits inside worker processes die with the workers.
-Serial samples carry the full picture.
+``cache`` numbers are true campaign-wide aggregates at every ``jobs``
+setting: each pool worker ships its per-unit hit/miss counter delta
+back through the result stream and the parent folds it into its own
+counters (:func:`repro.runtime.cache.merge_counts`), so a pooled
+sample's ``compile_hit_rate``/``trace_hit_rate`` cover the workers'
+lookups too, not just the parent's pre-fork warmup.  (Before the
+observability layer landed, worker counters died with the workers and
+pooled samples silently under-counted — the old per-process caveat.)
+
+When a profiling session is armed (:mod:`repro.obs`), samples may also
+carry a ``timings`` entry in ``meta``: the campaign's per-phase wall
+clock from :attr:`CampaignReport.timings`.
 """
 
 from __future__ import annotations

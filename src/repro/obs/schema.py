@@ -1,0 +1,143 @@
+"""The trace JSONL schema and its validator.
+
+A trace file is JSONL: the first line is a header, every following
+line is a span or a point.  CI's trace-smoke step and
+``repro trace check`` both call :func:`validate_trace_file`; tests call
+:func:`validate_span_record` directly.
+
+Header::
+
+    {"kind": "trace-header", "schema": "repro.trace/1",
+     "seed": <int>, "root": <16-hex>}
+
+Span::
+
+    {"kind": "span", "id": <16-hex>, "parent": <16-hex>,
+     "name": <str>, "pid": <int>, "start": <unix-seconds>,
+     "dur": <seconds >= 0>, "attrs": {<str>: <json>}?}
+
+Point (time-series sample, e.g. Phase-1 coverage-vs-time)::
+
+    {"kind": "point", "name": <str>, "pid": <int>, "t": <unix-seconds>,
+     "fields": {<str>: <json>}?}
+"""
+
+from __future__ import annotations
+
+import json
+import string
+from typing import Any, Dict, List, Tuple
+
+TRACE_SCHEMA = "repro.trace/1"
+
+_HEX = set(string.hexdigits.lower())
+
+
+def _is_span_id(value: Any) -> bool:
+    return (isinstance(value, str) and len(value) == 16
+            and set(value) <= _HEX)
+
+
+def validate_header(record: Dict[str, Any]) -> List[str]:
+    errors = []
+    if record.get("kind") != "trace-header":
+        errors.append("header: kind must be 'trace-header'")
+    if record.get("schema") != TRACE_SCHEMA:
+        errors.append(f"header: schema must be {TRACE_SCHEMA!r}, "
+                      f"got {record.get('schema')!r}")
+    if not isinstance(record.get("seed"), int):
+        errors.append("header: seed must be an int")
+    if not _is_span_id(record.get("root")):
+        errors.append("header: root must be a 16-hex span id")
+    return errors
+
+
+def validate_span_record(record: Dict[str, Any]) -> List[str]:
+    """Schema errors for one span line ([] = valid)."""
+    errors = []
+    where = f"span {record.get('id')!r}"
+    if record.get("kind") != "span":
+        errors.append(f"{where}: kind must be 'span'")
+    for field in ("id", "parent"):
+        if not _is_span_id(record.get(field)):
+            errors.append(f"{where}: {field} must be a 16-hex span id")
+    if not isinstance(record.get("name"), str) or not record.get("name"):
+        errors.append(f"{where}: name must be a non-empty string")
+    if not isinstance(record.get("pid"), int):
+        errors.append(f"{where}: pid must be an int")
+    if not isinstance(record.get("start"), (int, float)):
+        errors.append(f"{where}: start must be a number")
+    dur = record.get("dur")
+    if not isinstance(dur, (int, float)) or dur < 0:
+        errors.append(f"{where}: dur must be a number >= 0")
+    attrs = record.get("attrs", {})
+    if not isinstance(attrs, dict) or \
+            any(not isinstance(k, str) for k in attrs):
+        errors.append(f"{where}: attrs must be a string-keyed object")
+    return errors
+
+
+def validate_point_record(record: Dict[str, Any]) -> List[str]:
+    errors = []
+    where = f"point {record.get('name')!r}"
+    if not isinstance(record.get("name"), str) or not record.get("name"):
+        errors.append(f"{where}: name must be a non-empty string")
+    if not isinstance(record.get("pid"), int):
+        errors.append(f"{where}: pid must be an int")
+    if not isinstance(record.get("t"), (int, float)):
+        errors.append(f"{where}: t must be a number")
+    fields = record.get("fields", {})
+    if not isinstance(fields, dict):
+        errors.append(f"{where}: fields must be an object")
+    return errors
+
+
+def validate_trace_file(path: str) -> Tuple[Dict[str, int], List[str]]:
+    """Validate a JSONL trace end-to-end.
+
+    Returns ``(counts, errors)`` where counts holds ``spans``/``points``
+    and errors is empty for a schema-valid file.  Beyond per-record
+    shape this checks referential integrity: every span's parent must
+    be the header root or another span in the file.
+    """
+    counts = {"spans": 0, "points": 0}
+    errors: List[str] = []
+    ids = set()
+    parents: List[str] = []
+    header: Dict[str, Any] = {}
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            if lineno == 1:
+                header = record
+                errors.extend(validate_header(record))
+                continue
+            kind = record.get("kind")
+            if kind == "span":
+                counts["spans"] += 1
+                errors.extend(validate_span_record(record))
+                if _is_span_id(record.get("id")):
+                    ids.add(record["id"])
+                if _is_span_id(record.get("parent")):
+                    parents.append(record["parent"])
+            elif kind == "point":
+                counts["points"] += 1
+                errors.extend(validate_point_record(record))
+            else:
+                errors.append(f"line {lineno}: unknown kind {kind!r}")
+    if not header:
+        errors.append("empty file: missing trace header")
+    root = header.get("root")
+    known = ids | ({root} if root else set())
+    for parent in parents:
+        if parent not in known:
+            errors.append(f"span parent {parent!r} not in file "
+                          "(broken span tree)")
+    return counts, errors

@@ -24,6 +24,12 @@ Both caches are guarded by locks (the serial runner's timeout threads
 may race the main thread) and are inherited copy-on-write by forked pool
 workers — warm a cache before the fork and every worker shares it.
 
+Hit/miss counters are process-local; pool workers snapshot theirs with
+:func:`counter_snapshot` after each unit, ship the delta through the
+result stream, and the parent folds it back in with
+:func:`merge_counts` — so :func:`cache_stats` in the parent reports
+true campaign-wide aggregates under ``jobs > 1``.
+
 Cached good-value vectors are returned by reference and must be treated
 as **read-only** by callers (cone re-evaluation copies on write already).
 """
@@ -35,6 +41,7 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
+from repro import obs
 from repro.logic.netlist import Netlist
 
 #: Bound on the number of good-machine blocks kept (LRU eviction).
@@ -108,8 +115,10 @@ def _compiled_for(netlist: Netlist, table: Dict[str, object],
         hit = table.get(key)
         if hit is not None:
             _STATS["compile_hits"] += 1
+            obs.incr("cache.compile.hits")
             return hit
         _STATS["compile_misses"] += 1
+    obs.incr("cache.compile.misses")
     built = factory(netlist)  # compile outside the lock
     with _LOCK:
         return table.setdefault(key, built)
@@ -155,8 +164,10 @@ def cached_good_values(netlist: Netlist,
         if hit is not None:
             _TRACE.move_to_end(key)
             _STATS["trace_hits"] += 1
+            obs.incr("cache.trace.hits")
             return hit
         _STATS["trace_misses"] += 1
+    obs.incr("cache.trace.misses")
     values = compute()
     with _LOCK:
         stored = _TRACE.setdefault(key, values)
@@ -164,6 +175,26 @@ def cached_good_values(netlist: Netlist,
         while len(_TRACE) > TRACE_CACHE_MAX:
             _TRACE.popitem(last=False)
     return stored
+
+
+# ----------------------------------------------------------------------
+# Pool aggregation
+# ----------------------------------------------------------------------
+def counter_snapshot() -> Dict[str, int]:
+    """The four raw hit/miss counters (no sizes, no derived rates).
+
+    Pool workers snapshot before/after each unit and ship the
+    difference to the parent; see :func:`merge_counts`.
+    """
+    with _LOCK:
+        return dict(_STATS)
+
+
+def merge_counts(delta: Mapping[str, int]) -> None:
+    """Fold a worker's counter delta into this process's counters."""
+    with _LOCK:
+        for key in _STATS:
+            _STATS[key] += delta.get(key, 0)
 
 
 # ----------------------------------------------------------------------

@@ -7,7 +7,13 @@ campaign warmed up — recorded traces, compiled evaluators, PODEM
 setups) are published in a module-level context *before* the pool is
 created, every forked worker inherits them copy-on-write, and the only
 things that cross process boundaries are unit **indices** (parent →
-worker) and JSON-serialisable result **records** (worker → parent).
+worker) and JSON-serialisable result **envelopes** (worker → parent).
+An envelope carries the unit's checkpoint record plus two bookkeeping
+payloads: the worker's cache hit/miss counter delta for the unit
+(always — the parent folds it into its own counters, so
+``cache_stats()`` aggregates truthfully under ``jobs > 1``) and, when
+an observability session is armed (:mod:`repro.obs`), the worker's
+drained span buffer, metric snapshot and profiler timings.
 
 Durability matches the serial backend's kill-anytime contract:
 
@@ -44,7 +50,8 @@ import os
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.runtime import chaos
+from repro import obs
+from repro.runtime import cache, chaos
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.errors import ConfigError
 from repro.runtime.integrity import chain_digest
@@ -212,21 +219,44 @@ def _worker_init() -> None:
         ),
         "shard": shard,
     }
+    # Observability state was inherited copy-on-write from the parent;
+    # drop it so this worker's payloads only ever carry its own work.
+    obs.reset_after_fork()
+
+
+def _counter_delta(before: Dict[str, int],
+                   after: Dict[str, int]) -> Dict[str, int]:
+    """The (non-negative, sparse) difference between two counter maps."""
+    return {key: after[key] - before.get(key, 0)
+            for key in after if after[key] != before.get(key, 0)}
 
 
 def _worker_run(index: int) -> Dict[str, Any]:
-    """Grade one pending unit (by index) and return its result record."""
+    """Grade one pending unit (by index) and return its result envelope.
+
+    The envelope is ``{"record", "cache", "obs"}``: the checkpoint
+    record (exactly what the serial backend would have written — the
+    shard stores *only* this, so checkpoint bytes are
+    backend-independent), the worker's cache-counter delta for this
+    unit, and the drained observability payload (``None`` unless a
+    session is armed).
+    """
     state = _WORKER_STATE
     unit = _POOL_CONTEXT["units"][index]
     # Chaos "kill_worker": a real SIGKILL of this worker process,
     # mid-unit — the parent's stall detection must notice the death,
     # salvage what completed, and finish the remainder serially.
     chaos.inject("pool.worker.unit", unit_id=unit.unit_id)
+    cache_before = cache.counter_snapshot()
     result = state["runner"]._run_unit(unit)
     record = result.record()
     if state["shard"] is not None:
         state["shard"].append(record)
-    return record
+    return {
+        "record": record,
+        "cache": _counter_delta(cache_before, cache.counter_snapshot()),
+        "obs": obs.export_worker_payload(),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -293,7 +323,7 @@ def run_pooled(
                 # and no result has arrived within the stall budget;
                 # the runner re-runs the lost units serially.
                 try:
-                    record = stream.next(timeout=_POOL_POLL_SECONDS)
+                    envelope = stream.next(timeout=_POOL_POLL_SECONDS)
                 except StopIteration:
                     break
                 except multiprocessing.TimeoutError:
@@ -306,6 +336,9 @@ def run_pooled(
                     continue
                 done += 1
                 last_progress = time.monotonic()
+                record = envelope["record"]
+                cache.merge_counts(envelope.get("cache") or {})
+                obs.merge_worker_payload(envelope.get("obs"))
                 result = UnitResult.from_record(record, resumed=False)
                 results[result.unit_id] = result
                 if runner.store is not None:

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro import obs
 from repro.runtime import chaos
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.errors import (
@@ -110,6 +111,11 @@ class CampaignReport:
 
     results: Dict[str, UnitResult] = field(default_factory=dict)
     interrupted: bool = False    # stopped early (max_units cutoff)
+    #: Per-phase wall-clock accumulated during this run (profiler
+    #: sections, e.g. ``runner.unit`` / ``sim.hier.grade_comb``).
+    #: Empty unless an observability session with profiling was armed
+    #: (:mod:`repro.obs`) — the default report is unchanged.
+    timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def __getitem__(self, unit_id: str) -> UnitResult:
         return self.results[unit_id]
@@ -312,16 +318,31 @@ class CampaignRunner:
             else:
                 self.store.create(fingerprint)
 
+        timings_before = obs.profile_timings()
+        campaign_span = obs.span("campaign", jobs=self.jobs,
+                                 units=len(units))
         try:
-            if self.jobs > 1:
-                return self._run_pooled(
-                    units, completed, retry_quarantined=retry_quarantined,
-                    max_units=max_units, progress=progress, warmup=warmup,
-                )
-            return self._run_serial(
-                units, completed, retry_quarantined=retry_quarantined,
-                max_units=max_units, progress=progress,
-            )
+            with campaign_span, obs.section("campaign.run"):
+                if self.jobs > 1:
+                    report = self._run_pooled(
+                        units, completed,
+                        retry_quarantined=retry_quarantined,
+                        max_units=max_units, progress=progress,
+                        warmup=warmup,
+                    )
+                else:
+                    report = self._run_serial(
+                        units, completed,
+                        retry_quarantined=retry_quarantined,
+                        max_units=max_units, progress=progress,
+                    )
+                session = obs.active()
+                if session is not None:
+                    campaign_span.set(**report.counts())
+                    if session.profiler is not None:
+                        report.timings = \
+                            session.profiler.delta(timings_before)
+                return report
         finally:
             if self.store is not None:
                 self.store.close()
@@ -437,6 +458,15 @@ class CampaignRunner:
                 pass
 
     def _run_unit(self, unit: WorkUnit) -> UnitResult:
+        span = obs.span("unit", key=unit.unit_id)
+        with span, obs.section("runner.unit"):
+            result = self._execute_unit(unit)
+            span.set(status=result.status, attempts=result.attempts)
+            obs.incr(f"campaign.units.{result.status}")
+            obs.observe("campaign.unit_seconds", result.elapsed)
+            return result
+
+    def _execute_unit(self, unit: WorkUnit) -> UnitResult:
         started = self.clock()
         timeouts = 0
         last_error: Optional[BaseException] = None

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.dsp.components import ComponentSpec, component_by_name
 from repro.faults.combsim import CombFaultSimulator
 from repro.faults.model import Fault, collapse_faults
@@ -86,6 +87,14 @@ def constraint_study(
     "only 00 and 01").  ``rng_factory(allowed_modes) -> Random``
     overrides the default per-constraint seed-derived streams.
     """
+    with obs.span("selftest.phase3", key=component), \
+            obs.section("selftest.phase3"):
+        return _constraint_study(component, mode_port, constraints,
+                                 n_patterns, seed, rng_factory)
+
+
+def _constraint_study(component, mode_port, constraints, n_patterns,
+                      seed, rng_factory) -> List[ConstraintResult]:
     spec = component_by_name(component)
     if constraints is None:
         all_modes = list(spec.modes)

@@ -1,0 +1,109 @@
+"""Shared test configuration: golden-file plumbing.
+
+Golden files live under ``tests/goldens/`` as canonical, sorted,
+indented JSON.  A test compares its freshly computed payload against
+the committed file; when the behaviour changes *deliberately*, rerun
+with ``--regen-goldens`` to rewrite every golden from the current
+implementation and review the diff like any other code change.
+
+This module also defines *the* deterministic golden campaign — a fixed
+workload run under an injected counter clock so its checkpoint bytes
+and report are reproducible bit-for-bit.  The goldens it produced were
+generated **before** the observability layer existed, so comparing
+against them proves the obs layer is behaviourally inert.
+"""
+
+import itertools
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.runner import CampaignReport, CampaignRunner, WorkUnit
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Fingerprint of the deterministic golden campaign (see below).
+GOLDEN_CAMPAIGN_FINGERPRINT = {"campaign": "golden-inertness", "seed": 2004}
+
+
+def golden_campaign_units():
+    """A fixed workload: six healthy units plus one deterministic failure."""
+    def ok(n):
+        return lambda: {"detected": n, "word": (n * 3) % 7}
+
+    def boom():
+        raise ValueError("injected deterministic failure")
+
+    units = [WorkUnit(unit_id=f"u{i:02d}", run=ok(i)) for i in range(6)]
+    units.append(WorkUnit(unit_id="u-bad", run=boom))
+    return units
+
+
+def golden_campaign_runner(checkpoint: str) -> CampaignRunner:
+    """A runner whose clock ticks 0.0, 1.0, 2.0 ... — elapsed values are
+    deterministic, so the checkpoint and report are byte-stable."""
+    tick = itertools.count()
+    return CampaignRunner(
+        checkpoint=checkpoint,
+        sleep=lambda s: None,
+        clock=lambda: float(next(tick)),
+    )
+
+
+def campaign_report_payload(report: CampaignReport) -> dict:
+    """Canonical JSON form of a report: records in order + accounting."""
+    return {
+        "records": [r.record() for r in report.results.values()],
+        "counts": report.counts(),
+        "summary": report.summary(),
+        "interrupted": report.interrupted,
+    }
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.json from the current behaviour "
+             "instead of asserting against them",
+    )
+
+
+def canonical_json(payload) -> str:
+    """The byte-stable serialisation every golden file uses."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.fixture
+def golden(request):
+    """Compare ``payload`` against ``tests/goldens/<name>`` (or rewrite it).
+
+    Usage::
+
+        def test_something(golden):
+            golden("something.json", compute_payload())
+    """
+    regen = request.config.getoption("--regen-goldens")
+
+    def check(name: str, payload) -> None:
+        path = GOLDEN_DIR / name
+        text = canonical_json(payload)
+        if regen:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            return
+        if not path.exists():
+            pytest.fail(
+                f"missing golden {path.name}; generate it with "
+                f"`pytest --regen-goldens` and commit the file"
+            )
+        expected = path.read_text()
+        if text != expected:
+            pytest.fail(
+                f"golden drift in {path.name}: current behaviour no longer "
+                f"matches the committed golden.  If the change is "
+                f"deliberate, rerun with --regen-goldens and review the "
+                f"diff; otherwise a metric/selection regression slipped in."
+            )
+
+    return check

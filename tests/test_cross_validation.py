@@ -1,14 +1,26 @@
-"""Cross-validation of the hierarchical fault simulator.
+"""Cross-validation of the simulation stack, two ways.
 
 DESIGN.md promises that the Tetramax-substitute (component-local gate-level
 detection + behavioural propagation) is validated against exact flat
-gate-level sequential fault simulation.  This test grades the *same*
-instruction stream both ways — the flat core fault-parallel, the
-hierarchical simulator per component — and compares coverage per datapath
-region (the flat core's gates carry region provenance labels).
+gate-level sequential fault simulation.  The first half of this module
+grades the *same* instruction stream both ways — the flat core
+fault-parallel, the hierarchical simulator per component — and compares
+coverage per datapath region (the flat core's gates carry region
+provenance labels).
+
+The second half is a seeded differential sweep over structurally random
+netlists (:mod:`repro.logic.random_nets`): the interpreted simulator,
+the compiled evaluator and the sequential engine must agree
+bit-for-bit, pattern-parallel, across hundreds of seeds.  Any
+disagreeing netlist is dumped to ``tests/artifacts/`` as a JSON repro
+artifact (re-loadable via ``repro.lint.artifacts.netlist_from_doc``)
+before the assertion fires.
 """
 
+import json
+import random
 from collections import defaultdict
+from pathlib import Path
 
 import pytest
 
@@ -17,6 +29,11 @@ from repro.dsp.gatelevel import make_gatelevel_core
 from repro.dsp.isa import Instruction, Opcode
 from repro.faults.hierarchical import HierarchicalFaultSimulator
 from repro.faults.seqsim import SeqFaultSimulator
+from repro.lint.artifacts import netlist_from_doc
+from repro.logic.compiled import CompiledEvaluator
+from repro.logic.random_nets import netlist_to_doc, random_netlist
+from repro.logic.sequential import SequentialSimulator
+from repro.logic.simulator import CombSimulator
 
 #: Regions compared; others are either too small for rates to be stable
 #: (truncater region: 2 flat faults) or differ in fault-model scope.
@@ -92,3 +109,104 @@ def test_flat_universe_carries_region_labels():
     labelled = set(flat.net_regions.values())
     for component in COMPARED:
         assert component in labelled, component
+
+
+# ----------------------------------------------------------------------
+# Seeded differential sweep: interpreted vs compiled vs sequential
+# ----------------------------------------------------------------------
+N_COMB_CASES = 140
+N_SEQ_CASES = 60
+N_PATTERNS = 8
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+def _dump_failure(netlist, seed, **extra):
+    """Write a failing netlist as a replayable JSON repro artifact."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    doc = netlist_to_doc(netlist)
+    doc["xval"] = {"seed": seed, **extra}
+    path = ARTIFACT_DIR / f"xval_{netlist.name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def _comb_netlist(seed):
+    return random_netlist(seed, n_inputs=4 + seed % 5,
+                          n_gates=24 + seed % 33, n_dffs=0)
+
+
+def _seq_netlist(seed):
+    return random_netlist(1000 + seed, n_inputs=3 + seed % 4,
+                          n_gates=20 + seed % 21, n_dffs=2 + seed % 4,
+                          name=f"randseq{seed}")
+
+
+def _stimulus(netlist, seed, n_patterns=N_PATTERNS):
+    rng = random.Random(("stimulus", seed).__repr__())
+    return {net: rng.randrange(1 << n_patterns) for net in netlist.inputs}
+
+
+@pytest.mark.parametrize("seed", range(N_COMB_CASES))
+def test_interpreted_vs_compiled_bit_for_bit(seed):
+    """CombSimulator and CompiledEvaluator agree on every net, every bit."""
+    netlist = _comb_netlist(seed)
+    inputs = _stimulus(netlist, seed)
+    interpreted = CombSimulator(netlist).run(inputs, N_PATTERNS)
+    compiled = CompiledEvaluator(netlist).run(inputs, N_PATTERNS)
+    if interpreted != compiled:
+        bad = [netlist.net_names[n] for n in range(netlist.n_nets)
+               if interpreted[n] != compiled[n]]
+        path = _dump_failure(netlist, seed, engine="compiled",
+                             inputs={str(k): v for k, v in inputs.items()},
+                             mismatched_nets=bad)
+        pytest.fail(f"seed {seed}: {len(bad)} net(s) disagree "
+                    f"(first: {bad[:5]}); repro dumped to {path}")
+
+
+@pytest.mark.parametrize("seed", range(N_SEQ_CASES))
+def test_sequential_engine_vs_reference_stepping(seed):
+    """The sequential engine (compiled fast path and the interpreted
+    forcing path) matches manual CombSimulator + DFF-update stepping."""
+    netlist = _seq_netlist(seed)
+    n_cycles = 6
+    mask = (1 << N_PATTERNS) - 1
+    engine = SequentialSimulator(netlist, n_patterns=N_PATTERNS)
+    # Identity forcing on an input net pushes every cycle down the
+    # interpreted path without changing any value.
+    forced_engine = SequentialSimulator(netlist, n_patterns=N_PATTERNS)
+    identity = {netlist.inputs[0]: (mask, 0)}
+    reference = CombSimulator(netlist)
+    state = {dff.q: (mask if dff.init else 0) for dff in netlist.dffs}
+    per_cycle_inputs = []
+    for cycle in range(n_cycles):
+        inputs = _stimulus(netlist, (seed, cycle))
+        per_cycle_inputs.append({str(k): v for k, v in inputs.items()})
+        got = engine.step(inputs)
+        got_forced = forced_engine.step(inputs, force_masks=identity)
+        want = reference.run(inputs, N_PATTERNS, state=state)
+        if got != want or got_forced != want:
+            path = _dump_failure(netlist, seed, engine="sequential",
+                                 cycle=cycle, inputs=per_cycle_inputs)
+            pytest.fail(f"seed {seed}: divergence at cycle {cycle}; "
+                        f"repro dumped to {path}")
+        state = {dff.q: want[dff.d] & mask for dff in netlist.dffs}
+    assert engine.state == state == forced_engine.state
+
+
+@pytest.mark.parametrize("seed", [0, 3, 7, 11])
+def test_repro_artifact_round_trip(seed):
+    """netlist_to_doc → netlist_from_doc reproduces the simulation."""
+    netlist = _seq_netlist(seed)
+    clone = netlist_from_doc(netlist_to_doc(netlist))
+    clone.validate()
+    inputs = _stimulus(netlist, seed)
+    clone_inputs = {clone.net_id(netlist.net_names[n]): v
+                    for n, v in inputs.items()}
+    original = SequentialSimulator(netlist, n_patterns=N_PATTERNS)
+    replayed = SequentialSimulator(clone, n_patterns=N_PATTERNS)
+    for _ in range(4):
+        want = original.step(inputs)
+        got = replayed.step(clone_inputs)
+        assert [want[n] for n in netlist.outputs] == \
+            [got[clone.net_id(netlist.net_names[n])] for n in netlist.outputs]

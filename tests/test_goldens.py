@@ -1,0 +1,99 @@
+"""Golden-file regression tests for the paper's measured artefacts.
+
+Table 1 (the simple-datapath metrics), Table 2 (the DSP-core metrics
+table) and the Phase-1 greedy instruction selection are all
+deterministic given their seeds — any drift in a measured C/O value or
+in the chosen instruction sequence is a behaviour change, not noise.
+These tests pin the exact values as canonical JSON under
+``tests/goldens/`` so such drift fails loudly; regenerate deliberately
+with ``pytest --regen-goldens`` and review the diff.
+
+The golden-campaign checkpoint/report pair additionally pins the
+runner's output format from **before** the observability layer landed:
+``test_obs_inert.py`` replays the same campaign with tracing on and off
+against the same goldens.
+"""
+
+import pytest
+
+from tests.conftest import (
+    GOLDEN_CAMPAIGN_FINGERPRINT,
+    campaign_report_payload,
+    golden_campaign_runner,
+    golden_campaign_units,
+)
+
+from repro.metrics.simple_metrics import build_table1
+from repro.metrics.table import build_metrics_table
+from repro.selftest.phase1 import run_phase1
+
+#: Small, fast, deterministic parameters — goldens pin behaviour, not
+#: paper-scale accuracy (the benchmarks own that).
+TABLE1_PARAMS = dict(n_samples=60, n_good=8, seed=17)
+TABLE2_PARAMS = dict(n_controllability_samples=8, n_observability_good=2)
+
+
+def _cell(c, o, covered=None):
+    payload = {"c": round(c, 10), "o": round(o, 10)}
+    if covered is not None:
+        payload["covered"] = covered
+    return payload
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return build_metrics_table(**TABLE2_PARAMS)
+
+
+def test_table1_golden(golden):
+    table = build_table1(**TABLE1_PARAMS)
+    payload = {
+        row: {col: _cell(cell.c, cell.o) for col, cell in cells.items()}
+        for row, cells in table.items()
+    }
+    golden("table1.json", payload)
+
+
+def test_table2_golden(golden, small_table):
+    table = small_table
+    payload = {}
+    for row in table.rows:
+        cells = {}
+        for column in table.columns:
+            cell = table.cell(row, column)
+            if cell is None:
+                continue
+            label = f"{column[0]}:{column[1]}"
+            cells[label] = _cell(cell.c, cell.o,
+                                 covered=table.is_covered(row, column))
+        payload[row.label] = cells
+    golden("table2.json", payload)
+
+
+def test_phase1_selection_golden(golden, small_table):
+    result = run_phase1(small_table)
+    payload = {
+        "wrappers": [v.label for v in result.wrapper_rows],
+        "wrapper_covered": [f"{c[0]}:{c[1]}" for c in result.wrapper_covered],
+        "selections": [
+            {"variant": variant.label,
+             "columns": [f"{c[0]}:{c[1]}" for c in columns]}
+            for variant, columns in result.selections
+        ],
+        "uncovered": [f"{c[0]}:{c[1]}" for c in result.uncovered],
+    }
+    golden("phase1_selection.json", payload)
+
+
+def test_golden_campaign_report(golden, tmp_path):
+    """The deterministic campaign's report and checkpoint, byte-stable."""
+    checkpoint = tmp_path / "golden.jsonl"
+    runner = golden_campaign_runner(str(checkpoint))
+    report = runner.run(golden_campaign_units(),
+                        fingerprint=GOLDEN_CAMPAIGN_FINGERPRINT)
+    golden("campaign_report.json", campaign_report_payload(report))
+
+    # The checkpoint is JSONL, not JSON; pin its exact bytes via a
+    # one-key payload so the same golden() plumbing applies.
+    golden("campaign_checkpoint.json",
+           {"jsonl": checkpoint.read_text().splitlines()})

@@ -228,6 +228,111 @@ def test_pooled_falls_back_serially_when_pool_dies(tmp_path, monkeypatch):
     assert not report.interrupted
 
 
+# ----------------------------------------------------------------------
+# Worker-side aggregation (cache counters + obs metrics)
+# ----------------------------------------------------------------------
+@needs_fork
+def test_pooled_cache_counters_aggregate_to_serial(tmp_path):
+    """Worker cache hit/miss counters ship back through the result
+    stream and fold into the parent's totals: the pooled campaign's
+    ``cache_stats()`` delta equals the serial twin's on the same
+    workload.  (Before the obs layer, worker counters died with the
+    workers and pooled runs silently under-counted.)"""
+    from repro.harness.perf import cache_delta
+    from repro.logic.random_nets import random_netlist
+    from repro.runtime.cache import (
+        cache_stats,
+        cached_good_values,
+        clear_caches,
+    )
+
+    netlist = random_netlist(5, n_inputs=4, n_gates=12)
+
+    def probe(i):
+        patterns = {"in": [i % 16, (i * 7) % 16]}
+        compute = lambda: [0] * netlist.n_nets          # noqa: E731
+        cached_good_values(netlist, patterns, 2, compute)  # miss
+        cached_good_values(netlist, patterns, 2, compute)  # hit
+        return {"i": i}
+
+    def run(jobs, path):
+        clear_caches()
+        before = cache_stats()
+        units = [WorkUnit(unit_id=f"p{i}", run=lambda i=i: probe(i))
+                 for i in range(8)]
+        CampaignRunner(checkpoint=path, jobs=jobs).run(units)
+        return cache_delta(before, cache_stats())
+
+    serial = run(1, str(tmp_path / "serial.jsonl"))
+    pooled = run(3, str(tmp_path / "pooled.jsonl"))
+    assert serial["trace_misses"] == 8 and serial["trace_hits"] == 8
+    assert pooled == serial
+
+
+@needs_fork
+def test_pooled_combsim_cache_delta_matches_serial(tmp_path):
+    """A real CombSim campaign: the parent's warmup pre-computes every
+    block, so pooled and serial twins must land on identical cache
+    deltas (and identical first-detect results)."""
+    from repro.faults.combsim import CombFaultSimulator
+    from repro.harness.perf import cache_delta
+    from repro.logic.random_nets import random_netlist
+    from repro.runtime.cache import cache_stats, clear_caches
+    from repro.runtime.campaigns import CombSimCampaign
+
+    def build(jobs, checkpoint):
+        netlist = random_netlist(9, n_inputs=5, n_gates=18)
+        sim = CombFaultSimulator(netlist)
+        blocks = [{"in": [(i * 13 + b) % 32 for i in range(8)]}
+                  for b in range(2)]
+        return CombSimCampaign(sim, blocks, checkpoint=checkpoint,
+                               jobs=jobs)
+
+    clear_caches()
+    before = cache_stats()
+    serial = build(1, None).run()
+    serial_delta = cache_delta(before, cache_stats())
+
+    clear_caches()
+    before = cache_stats()
+    pooled = build(3, str(tmp_path / "cc.jsonl")).run()
+    pooled_delta = cache_delta(before, cache_stats())
+
+    assert pooled_delta == serial_delta
+    assert {(f.net, f.stuck_at): v for f, v in pooled.result.items()} \
+        == {(f.net, f.stuck_at): v for f, v in serial.result.items()}
+
+
+@needs_fork
+def test_pooled_obs_metrics_equal_serial_totals(tmp_path):
+    """Metric snapshots ride the result stream: a pooled campaign's
+    merged counters/histograms equal the serial run's on an identical
+    workload (wall-clock histograms excluded — durations differ)."""
+    from repro import obs
+
+    def work(i):
+        obs.incr("work.calls")
+        obs.incr("work.weight", i)
+        obs.observe("work.value", float(i))
+        return {"i": i}
+
+    def totals(jobs, path):
+        with obs.enabled_session(trace=False, metrics=True,
+                                 profile=False, seed=1) as session:
+            units = [WorkUnit(unit_id=f"w{i}", run=lambda i=i: work(i))
+                     for i in range(10)]
+            CampaignRunner(checkpoint=path, jobs=jobs).run(units)
+            return session.registry.snapshot()
+
+    serial = totals(1, str(tmp_path / "s.jsonl"))
+    pooled = totals(3, str(tmp_path / "p.jsonl"))
+    assert serial["counters"]["work.calls"] == 10
+    assert serial["counters"]["campaign.units.ok"] == 10
+    assert pooled["counters"] == serial["counters"]
+    assert pooled["histograms"]["work.value"] \
+        == serial["histograms"]["work.value"]
+
+
 @needs_fork
 def test_pooled_plain_units_roundtrip(tmp_path):
     """Closure-only units (no campaign adapter) survive the fork and the

@@ -12,6 +12,10 @@ Commands cover the everyday flows:
   campaign configurations (see :mod:`repro.lint`);
 * ``chaos`` — seeded fault-injection soak of the campaign runtime
   itself (see :mod:`repro.runtime.chaos`);
+* ``serve`` / ``submit`` / ``status`` / ``cancel`` — the crash-safe
+  campaign service: a persistent job queue with lease-based workers
+  (see :mod:`repro.runtime.service`); ``serve --soak`` is the
+  scheduler-level chaos soak;
 * ``export-verilog`` — write the flat gate-level core as Verilog.
 """
 
@@ -262,6 +266,148 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _service_soak(args) -> int:
+    import json as _json
+    from repro.runtime.chaos import parse_classes
+    from repro.runtime.errors import ConfigError
+    from repro.runtime.service import run_service_soak
+
+    if args.seed is None:
+        raise ConfigError("serve --soak requires --seed")
+    classes = parse_classes(args.inject)
+    print(f"service soak: {args.campaigns} campaigns x {args.units} "
+          f"units, seed {args.seed}, injecting {','.join(classes)}")
+    report = run_service_soak(
+        seed=args.seed, campaigns=args.campaigns, n_units=args.units,
+        classes=classes, probability=args.probability,
+        max_per_class=args.max_per_class, scratch=args.scratch,
+        progress=print if args.verbose else None,
+    )
+    print(report.summary())
+    print(f"disruptions (crashes + reclaims): {report.n_disruptions}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_json(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote service soak report to {args.report}")
+    if not report.ok():
+        for violation in report.violations:
+            print(f"VIOLATION: {violation.describe()}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    from repro.runtime.errors import ConfigError
+    from repro.runtime.service import (
+        SchedulerService,
+        ServiceConfig,
+        serve_until_drained,
+    )
+
+    if args.soak:
+        return _service_soak(args)
+    if not args.journal:
+        raise ConfigError("serve requires --journal (or --soak)")
+
+    config = ServiceConfig(
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat_interval,
+        max_job_retries=args.max_job_retries,
+    )
+    service = SchedulerService(args.journal, config=config)
+
+    def on_sigterm(signum, frame):
+        # Only a flag flip here: journal appends from inside a signal
+        # handler could interleave with an append already in flight.
+        service.request_drain()
+
+    previous = signal.signal(signal.SIGTERM, on_sigterm)
+    try:
+        print(f"serving {args.journal} (epoch {service.epoch}, "
+              f"{service.queue_depth()} jobs queued)")
+        outcome = serve_until_drained(
+            service, poll_seconds=args.poll,
+            idle_exit=not args.no_idle_exit,
+        )
+        rows = service.status_rows()
+        done = sum(1 for r in rows if r["status"] == "done")
+        print(f"serve: {outcome} ({done}/{len(rows)} jobs done)")
+        return 0
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        service.close()
+
+
+def _cmd_submit(args) -> int:
+    import os as _os
+    from repro.runtime.queue import JobJournal
+    from repro.runtime.service import JOB_KINDS, JobSpec
+
+    checkpoint = args.checkpoint
+    if checkpoint is None:
+        checkpoint = _os.path.join(args.journal + ".jobs",
+                                   f"{args.job}.jsonl")
+        _os.makedirs(_os.path.dirname(checkpoint), exist_ok=True)
+    params = {}
+    if args.unit_seconds:
+        params["unit_seconds"] = args.unit_seconds
+    spec = JobSpec(job_id=args.job, kind=args.kind, seed=args.seed,
+                   n_units=args.units, checkpoint=checkpoint,
+                   params=params)
+    if spec.kind not in JOB_KINDS:
+        from repro.runtime.errors import ConfigError
+        raise ConfigError(f"unknown job kind {spec.kind!r}")
+    path = JobJournal(args.journal).spool_request(
+        {"op": "submit", "spec": spec.to_json()}, name=f"{args.job}.json")
+    print(f"spooled submit of job {args.job!r} -> {path}")
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from repro.runtime.queue import JobJournal
+    path = JobJournal(args.journal).spool_request(
+        {"op": "cancel", "job": args.job},
+        name=f"{args.job}.cancel.json")
+    print(f"spooled cancel of job {args.job!r} -> {path}")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import json as _json
+    from repro.harness.reporting import format_table
+    from repro.runtime.service import journal_status, verify_journal
+
+    rows = journal_status(args.journal)
+    violations = verify_journal(
+        args.journal, require_terminal=args.require_terminal) \
+        if args.verify else []
+    if args.json:
+        print(_json.dumps({
+            "jobs": rows,
+            "violations": [v.to_json() for v in violations],
+        }, indent=2))
+    else:
+        columns = ("job", "kind", "status", "attempts", "failures",
+                   "reclaims", "units_ok", "units_degraded",
+                   "units_quarantined", "units_retried",
+                   "leaked_threads")
+        print(format_table(
+            columns, [tuple(r[c] for c in columns) for r in rows]))
+        terminal = sum(1 for r in rows if r["status"] in
+                       ("done", "quarantined", "cancelled"))
+        print(f"{len(rows)} jobs, {terminal} terminal")
+    if args.verify:
+        for violation in violations:
+            print(f"VIOLATION: {violation.describe()}", file=sys.stderr)
+        if violations:
+            return 1
+        if not args.json:
+            print("service invariants: OK")
+    return 0
+
+
 def _cmd_constraints(args) -> int:
     from repro.selftest.phase3 import constraint_study, discardable_modes
     results = constraint_study(args.component, n_patterns=args.patterns)
@@ -449,6 +595,100 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print one line per campaign")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("serve",
+                       help="run the crash-safe campaign scheduler over "
+                            "a persistent job journal (--soak: chaos-"
+                            "soak the scheduler itself)")
+    p.add_argument("--journal", metavar="FILE",
+                   help="the service's job journal (created if missing; "
+                        "an existing journal is replayed to recover)")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="lease time-to-live; an unrenewed lease is "
+                        "reclaimed after this long (default 30)")
+    p.add_argument("--heartbeat-interval", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="intended renewal cadence (default 5; must be "
+                        "well under --lease-ttl, see lint CMP005)")
+    p.add_argument("--max-job-retries", type=int, default=3, metavar="N",
+                   help="failed attempts before a job is quarantined "
+                        "as poison (default 3)")
+    p.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                   help="idle polling interval (default 0.2)")
+    p.add_argument("--no-idle-exit", action="store_true",
+                   help="keep serving after every job is terminal "
+                        "(wait for more submissions)")
+    p.add_argument("--soak", action="store_true",
+                   help="run the scheduler chaos soak instead of a "
+                        "real service (deterministic, virtual-clock)")
+    p.add_argument("--seed", type=int,
+                   help="soak: master seed for the failure schedule")
+    p.add_argument("--campaigns", type=int, default=25, metavar="K",
+                   help="soak: service campaigns to run (default 25)")
+    p.add_argument("--units", type=int, default=8, metavar="N",
+                   help="soak: work units per campaign (default 8)")
+    p.add_argument("--inject",
+                   default="kill,scheduler_crash,lease_lost,"
+                           "heartbeat_delay,queue_torn_write",
+                   metavar="CLASSES",
+                   help="soak: comma-separated failure classes")
+    p.add_argument("--probability", type=float, default=0.4,
+                   help="soak: repeat-injection probability in [0, 1)")
+    p.add_argument("--max-per-class", type=int, default=None,
+                   metavar="N",
+                   help="soak: injection budget per class (default: "
+                        "scales with --campaigns)")
+    p.add_argument("--scratch", metavar="DIR",
+                   help="soak: scratch directory (default: private "
+                        "temp dir, removed after)")
+    p.add_argument("--report", metavar="FILE",
+                   help="soak: write the JSON soak report here")
+    p.add_argument("--verbose", action="store_true",
+                   help="soak: print per-event progress")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="spool one campaign job for a running (or "
+                            "future) scheduler to ingest")
+    p.add_argument("--journal", required=True, metavar="FILE",
+                   help="the target service's job journal path")
+    p.add_argument("--job", required=True, metavar="ID",
+                   help="job id (submission is idempotent per id)")
+    p.add_argument("--kind", default="soak",
+                   choices=("soak", "grade"),
+                   help="workload kind (default soak)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--units", type=int, default=8, metavar="N",
+                   help="work units in the campaign (default 8)")
+    p.add_argument("--checkpoint", metavar="FILE",
+                   help="campaign checkpoint path (default: "
+                        "<journal>.jobs/<job>.jsonl)")
+    p.add_argument("--unit-seconds", type=float, default=0.0,
+                   metavar="S",
+                   help="sleep per unit (lets tests kill the scheduler "
+                        "mid-campaign)")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("status",
+                       help="per-job service status (read-only; safe "
+                            "while a scheduler is live)")
+    p.add_argument("--journal", required=True, metavar="FILE")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.add_argument("--verify", action="store_true",
+                   help="also audit the journal's scheduler invariants "
+                        "(exit 1 on any violation)")
+    p.add_argument("--require-terminal", action="store_true",
+                   help="with --verify: a non-terminal job is a "
+                        "violation (for finished soaks)")
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser("cancel",
+                       help="spool a cancellation for one job")
+    p.add_argument("--journal", required=True, metavar="FILE")
+    p.add_argument("--job", required=True, metavar="ID")
+    p.set_defaults(func=_cmd_cancel)
 
     p = sub.add_parser("constraints",
                        help="control-bit constraint study (Phase 3)")

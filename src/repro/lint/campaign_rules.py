@@ -20,7 +20,11 @@ Rules:
   by atomic replace and the process-pool shards);
 * ``CMP004`` — unusable chaos-injection policies (probability ≥ 1.0,
   missing seed, a checkpoint inside the chaos scratch directory that
-  the soak deletes on exit).
+  the soak deletes on exit);
+* ``CMP005`` — scheduler-service policies that defeat the service's
+  own crash-safety (a lease TTL the heartbeat cadence cannot keep
+  renewed, a zero job-retry budget, a job journal inside the chaos
+  scratch directory).
 """
 
 from __future__ import annotations
@@ -49,6 +53,10 @@ class CampaignConfig:
     #: The ``"chaos"`` block of the campaign entry, when present — the
     #: injection policy :mod:`repro.runtime.chaos` would run with.
     chaos: Optional[Any] = None
+    #: The ``"service"`` block, when present — the scheduler policy
+    #: (:class:`repro.runtime.service.ServiceConfig`) the campaign
+    #: would be submitted under.
+    service: Optional[Any] = None
 
     @classmethod
     def from_adapter(cls, name: str, campaign: Any) -> "CampaignConfig":
@@ -75,6 +83,7 @@ class CampaignConfig:
             jobs=int(doc.get("jobs", 1)),
             max_retries=int(doc.get("max_retries", 2)),
             chaos=doc.get("chaos"),
+            service=doc.get("service"),
         )
 
 
@@ -241,6 +250,80 @@ def check_chaos_policy(
                     "destroyed with the chaos debris",
                     hint="point the checkpoint outside the scratch "
                          "directory",
+                )
+
+
+# ----------------------------------------------------------------------
+# CMP005 — self-defeating scheduler-service policies
+# ----------------------------------------------------------------------
+@rule("CMP005", "campaign", Severity.ERROR,
+      "scheduler-service policy defeats its own crash-safety")
+def check_service_policy(
+    configs: Sequence[CampaignConfig],
+) -> Iterator[Finding]:
+    for config in configs:
+        doc = config.service
+        if doc is None:
+            continue
+        if not isinstance(doc, dict):
+            yield finding(
+                "CMP005", _loc(config, "service"),
+                f"service block must be an object, got "
+                f"{type(doc).__name__}",
+                hint="use {\"lease_ttl\": ..., "
+                     "\"heartbeat_interval\": ..., ...}",
+            )
+            continue
+        ttl = doc.get("lease_ttl")
+        heartbeat = doc.get("heartbeat_interval")
+        for field_name, value in (("lease_ttl", ttl),
+                                  ("heartbeat_interval", heartbeat)):
+            if isinstance(value, (int, float)) and value <= 0:
+                yield finding(
+                    "CMP005", _loc(config, f"service.{field_name}"),
+                    f"{field_name}={value!r}: a non-positive interval "
+                    "makes every lease instantly reclaimable (or never "
+                    "renewed), so jobs thrash between workers forever",
+                    hint="both intervals must be positive seconds",
+                )
+        if isinstance(ttl, (int, float)) and ttl > 0 \
+                and isinstance(heartbeat, (int, float)) \
+                and heartbeat > 0 and ttl <= heartbeat:
+            yield finding(
+                "CMP005", _loc(config, "service.lease_ttl"),
+                f"lease_ttl={ttl!r} <= heartbeat_interval={heartbeat!r}: "
+                "every lease expires before its first renewal arrives, "
+                "so healthy workers are perpetually fenced off and the "
+                "job is reclaimed mid-run on every attempt",
+                hint="keep the TTL several heartbeats long (e.g. "
+                     "ttl >= 3 * heartbeat_interval)",
+            )
+        retries = doc.get("max_job_retries")
+        if isinstance(retries, int) and retries == 0:
+            yield finding(
+                "CMP005", _loc(config, "service.max_job_retries"),
+                "max_job_retries=0: the first failed attempt quarantines "
+                "the job, so one transient infrastructure error "
+                "permanently poisons a healthy campaign",
+                hint="budget at least one retry; reclaims are free but "
+                     "failures are not",
+                severity=Severity.WARNING,
+            )
+        journal = doc.get("journal")
+        chaos_doc = config.chaos if isinstance(config.chaos, dict) else {}
+        scratch = chaos_doc.get("scratch")
+        if journal and scratch:
+            journal_abs = os.path.abspath(journal)
+            root = os.path.abspath(scratch)
+            if os.path.commonpath([journal_abs, root]) == root:
+                yield finding(
+                    "CMP005", _loc(config, "service.journal"),
+                    f"job journal {journal!r} lives inside the chaos "
+                    f"scratch directory {scratch!r}, which the soak "
+                    "deletes on exit — the whole queue's durable state "
+                    "(every job, lease and retry counter) is destroyed "
+                    "with the chaos debris",
+                    hint="point the journal outside the scratch directory",
                 )
 
 

@@ -72,6 +72,10 @@ CLASS_POINTS = {
     "corrupt": "file",                # bit flip in a checkpoint record
     "truncate": "file",               # checkpoint tail chopped off
     "duplicate": "file",              # trailing record duplicated
+    "scheduler_crash": "service.tick",    # SIGKILL of the scheduler loop
+    "lease_lost": "service.heartbeat",    # partition: ownership revoked
+    "heartbeat_delay": "service.heartbeat",  # renewal outrun by the TTL
+    "queue_torn_write": "queue.append",   # torn journal append + SIGKILL
 }
 
 FAILURE_CLASSES = tuple(CLASS_POINTS)
@@ -80,6 +84,14 @@ FAILURE_CLASSES = tuple(CLASS_POINTS)
 #: that is recoverable in a serial campaign with a golden twin.
 DEFAULT_SOAK_CLASSES = (
     "kill", "torn", "io", "hang", "corrupt", "truncate", "duplicate",
+)
+
+#: The classes the ``repro serve --soak`` service soak enables by
+#: default: scheduler death, worker death mid-unit, partition-shaped
+#: lease failures and torn journal writes.
+SERVICE_SOAK_CLASSES = (
+    "kill", "scheduler_crash", "lease_lost", "heartbeat_delay",
+    "queue_torn_write",
 )
 
 #: Classes allowed to act inside a forked pool worker.
@@ -213,6 +225,11 @@ class ChaosMonkey:
         if name == "torn":
             self._torn_write(ctx)
             raise ChaosKill("chaos: simulated SIGKILL mid-append")
+        if name == "scheduler_crash":
+            raise ChaosKill("chaos: scheduler SIGKILLed mid-tick")
+        if name == "queue_torn_write":
+            self._torn_write(ctx)
+            raise ChaosKill("chaos: scheduler SIGKILLed mid-journal-append")
         if name == "io":
             raise OSError(28, "chaos: no space left on device",
                           ctx.get("store") and ctx["store"].path)

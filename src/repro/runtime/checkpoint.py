@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Dict, Optional, Tuple
 
 from repro.runtime.chaos import inject as _chaos
@@ -38,6 +39,12 @@ from repro.runtime.integrity import chain_digest
 HEADER_KIND = "repro-campaign-checkpoint"
 #: Version 2 added the per-record integrity chain (PR 4).
 FORMAT_VERSION = 2
+
+#: A ``.tmp`` younger than this many seconds is left alone by the sweep:
+#: it may belong to a *live* writer mid-``create`` in another process
+#: (several leased service workers can share a checkpoint directory).
+#: A crash orphan, by contrast, only gets older.
+TMP_SWEEP_GRACE_SECONDS = 30.0
 
 
 class CheckpointStore:
@@ -54,19 +61,32 @@ class CheckpointStore:
     def exists(self) -> bool:
         return os.path.exists(self.path)
 
-    def _sweep_stale_tmp(self) -> None:
+    def _sweep_stale_tmp(self, grace: float = TMP_SWEEP_GRACE_SECONDS) -> None:
         """Remove a ``.tmp`` stranded by a crash mid-:meth:`create`.
 
         The atomic-replace protocol guarantees the canonical file is
         never half-written, but a kill between writing the temp file and
         ``os.replace`` leaves the orphan behind; it is dead weight (and
         an invariant violation) until someone sweeps it.
+
+        Two processes may share a checkpoint directory (leased service
+        workers running side by side), so the sweep must not race a
+        live writer: only files older than ``grace`` seconds are swept
+        — a writer completes its ``create`` in milliseconds, while a
+        crash orphan only ages — and a concurrent sweeper winning the
+        unlink (ENOENT) is silently tolerated.
         """
         tmp = self.path + ".tmp"
         try:
+            age = time.time() - os.stat(tmp).st_mtime
+        except OSError:
+            return  # no orphan (or unreadable: nothing useful to do)
+        if age < grace:
+            return  # possibly a live writer mid-create, not an orphan
+        try:
             os.remove(tmp)
         except FileNotFoundError:
-            pass
+            pass  # another sweeper won the race
         except OSError:
             pass  # best effort: an unremovable orphan is not fatal here
 

@@ -57,6 +57,19 @@ class IntegrityError(CampaignError):
     golden twin, orphaned scratch files, or a broken checkpoint chain."""
 
 
+class LeaseLostError(CampaignError):
+    """A service worker lost ownership of its job mid-run: the lease
+    expired or was reclaimed/revoked, and a later operation quoted a
+    stale fencing token.  The worker must stop touching the job; its
+    checkpointed units survive and the next lease resumes them."""
+
+
+class DrainRequested(ReproError):
+    """Cooperative shutdown: the scheduler was asked to drain (SIGTERM)
+    and the in-flight worker should checkpoint, release its lease and
+    exit cleanly (internal control-flow signal, never user-facing)."""
+
+
 class UnitTimeout(ReproError):
     """A work unit exceeded its wall-clock budget (internal signal used
     by the campaign runner; quarantined/degraded units report it as a

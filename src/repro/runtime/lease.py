@@ -1,0 +1,158 @@
+"""Lease-based job ownership for the campaign service.
+
+A *lease* is time-bounded, fenced ownership of one job:
+
+* **Time-bounded** — every lease carries an expiry deadline; a worker
+  must renew (heartbeat) before the deadline or the scheduler may
+  *reclaim* the job and hand it to someone else.  Expiry alone never
+  invalidates a lease — it only makes the lease reclaimable.  Until
+  the scheduler actually reclaims it (or the lease is superseded), a
+  slow-but-alive worker's writes are still the newest word on the job.
+* **Fenced** — each grant carries a *token*, strictly increasing per
+  job.  State transitions (renew, complete, fail, release) must quote
+  the token of the job's current lease; a zombie worker whose lease
+  was reclaimed quotes a stale token and is rejected instead of
+  double-completing the job.
+* **Epoch-scoped** — each grant records the scheduler incarnation
+  (*epoch*) that made it.  Workers live in the scheduler's process,
+  so after a crash + restart every lease from an earlier epoch is
+  provably orphaned and reclaimable immediately, without waiting out
+  the TTL.
+
+The table itself is volatile — the journal (:mod:`.queue`) is the
+durable record, and the restarting scheduler rebuilds the table by
+replay.  Invariants the table enforces (and the hypothesis suite in
+``tests/test_service_lease.py`` hammers): at most one live lease per
+job, tokens strictly monotonic per job, and no grant — hence no
+resurrection — once a job has been marked terminal.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.runtime.errors import CampaignError
+
+
+class LeaseError(CampaignError):
+    """An illegal lease transition (double grant, terminal resurrection)."""
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One grant of job ownership."""
+
+    job_id: str
+    worker: str
+    token: int          # fencing token, strictly increasing per job
+    epoch: int          # scheduler incarnation that granted it
+    granted_at: float
+    expires_at: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def age(self, now: float) -> float:
+        return max(0.0, now - self.granted_at)
+
+
+class LeaseTable:
+    """In-memory lease bookkeeping for one scheduler incarnation."""
+
+    def __init__(self, clock: Callable[[], float] = time.time):
+        self.clock = clock
+        #: The current (at most one) lease per job.
+        self._live: Dict[str, Lease] = {}
+        #: Last token issued per job (never reused, even across drops).
+        self._tokens: Dict[str, int] = {}
+        #: Jobs that reached a terminal status; never leasable again.
+        self._terminal: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Lease]:
+        return self._live.get(job_id)
+
+    def live_jobs(self) -> List[str]:
+        return sorted(self._live)
+
+    def next_token(self, job_id: str) -> int:
+        return self._tokens.get(job_id, 0) + 1
+
+    def is_terminal(self, job_id: str) -> bool:
+        return job_id in self._terminal
+
+    # ------------------------------------------------------------------
+    def grant(self, job_id: str, worker: str, ttl: float, epoch: int,
+              now: Optional[float] = None) -> Lease:
+        """Issue a new lease; refuses while another lease is current.
+
+        The caller (the scheduler) must reclaim an expired lease before
+        re-granting — grant is deliberately strict so the journal shows
+        an explicit ``reclaim`` between any two ``lease`` events for
+        one job, which is what the invariant checker audits.
+        """
+        if job_id in self._terminal:
+            raise LeaseError(
+                f"job {job_id!r} is terminal; it can never be leased again")
+        if job_id in self._live:
+            raise LeaseError(
+                f"job {job_id!r} already has a live lease "
+                f"(token {self._live[job_id].token}); reclaim it first")
+        now = self.clock() if now is None else now
+        lease = Lease(
+            job_id=job_id, worker=worker,
+            token=self.next_token(job_id), epoch=epoch,
+            granted_at=now, expires_at=now + ttl,
+        )
+        self._tokens[job_id] = lease.token
+        self._live[job_id] = lease
+        return lease
+
+    def renew(self, job_id: str, token: int, ttl: float,
+              now: Optional[float] = None) -> Optional[Lease]:
+        """Heartbeat: extend the lease iff ``token`` is still current.
+
+        Returns the renewed lease, or ``None`` when the renewal is
+        fenced off (no lease, or a stale token — the worker lost
+        ownership and must stop working on the job).
+        """
+        lease = self._live.get(job_id)
+        if lease is None or lease.token != token:
+            return None
+        now = self.clock() if now is None else now
+        renewed = replace(lease, expires_at=now + ttl)
+        self._live[job_id] = renewed
+        return renewed
+
+    def validate(self, job_id: str, token: int) -> bool:
+        """Fencing check: is ``token`` the job's current lease?"""
+        lease = self._live.get(job_id)
+        return lease is not None and lease.token == token
+
+    # ------------------------------------------------------------------
+    def expired(self, epoch: int,
+                now: Optional[float] = None) -> List[Lease]:
+        """Leases the scheduler may reclaim right now: past their
+        deadline, or granted by an earlier (dead) incarnation."""
+        now = self.clock() if now is None else now
+        return [
+            lease for _, lease in sorted(self._live.items())
+            if lease.expired(now) or lease.epoch < epoch
+        ]
+
+    def drop(self, job_id: str, token: int) -> Optional[Lease]:
+        """Remove the lease iff ``token`` matches (reclaim / release /
+        terminal transition).  Returns the dropped lease or ``None``."""
+        lease = self._live.get(job_id)
+        if lease is None or lease.token != token:
+            return None
+        del self._live[job_id]
+        return lease
+
+    def mark_terminal(self, job_id: str) -> None:
+        """The job finished for good; drop any lease, refuse all future
+        grants.  Reclamation can never resurrect it afterwards."""
+        self._live.pop(job_id, None)
+        self._terminal.add(job_id)

@@ -1,0 +1,310 @@
+"""The campaign service's persistent job journal.
+
+The scheduler's entire durable state is one append-only JSONL file
+using the same discipline as the campaign checkpoint
+(:mod:`repro.runtime.checkpoint`): line 1 is an atomically written
+header, every later line is one scheduler *event* (submit, lease,
+renew, reclaim, complete ...), each flushed + fsynced before the
+scheduler acts on it and chained to its predecessor with a sha256
+digest (:func:`repro.runtime.integrity.chain_digest`).  A scheduler
+killed at any instant loses at most the event in flight; a restarted
+scheduler replays the journal to recover every job, lease and retry
+counter exactly as they were.
+
+Torn tails are a *normal* crash artefact, not corruption: a SIGKILL
+mid-append leaves a partial last line, which :meth:`JobJournal.load`
+reports as a tail defect (and ``repair=True`` truncates away).  A
+chain break *before* the last line, by contrast, means the journal was
+bit-flipped or edited — the service invariant checker flags it.
+
+The journal has exactly one writer (the scheduler process).  Other
+processes submit work through the **spool**: a sibling directory of
+one-file-per-request JSON documents written atomically (temp file +
+``os.replace``) that the scheduler ingests into the journal on its
+next tick.  That keeps multi-process submission safe without any
+cross-process locking on the chained file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.chaos import inject as _chaos
+from repro.runtime.errors import CheckpointCorruptError
+from repro.runtime.integrity import chain_digest
+
+HEADER_KIND = "repro-job-journal"
+FORMAT_VERSION = 1
+
+#: Every event type the scheduler appends (see :mod:`.service` for the
+#: state machine that produces them).
+EVENT_TYPES = (
+    "start",      # a scheduler incarnation began (epoch fencing)
+    "submit",     # a job entered the queue
+    "lease",      # a worker was granted time-bounded ownership
+    "renew",      # heartbeat: the lease's expiry was pushed out
+    "release",    # the worker gave the job back (graceful drain)
+    "reclaim",    # the scheduler revoked an expired/orphaned lease
+    "complete",   # the job finished; summary recorded
+    "fail",       # an attempt failed (final=True quarantines)
+    "cancel",     # the job was withdrawn before finishing
+    "fenced",     # a stale-token write was rejected (observability)
+    "drain",      # graceful shutdown was requested
+)
+
+
+@dataclass(frozen=True)
+class JournalDefect:
+    """Where (and why) a journal stopped being trustworthy."""
+
+    line: int          # 1-based line number of the first bad record
+    reason: str
+    is_tail: bool      # True: normal crash debris (torn final line)
+
+    def describe(self) -> str:
+        kind = "torn tail" if self.is_tail else "interior corruption"
+        return f"line {self.line}: {self.reason} ({kind})"
+
+
+class JobJournal:
+    """One service's append-only, hash-chained event log."""
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        self._handle = None
+        self._tail: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    @property
+    def spool_dir(self) -> str:
+        return self.path + ".spool"
+
+    def create(self, meta: Optional[Dict[str, Any]] = None) -> Dict:
+        """Atomically write a fresh journal containing only the header."""
+        header = {
+            "kind": HEADER_KIND,
+            "version": FORMAT_VERSION,
+            "meta": meta or {},
+        }
+        header["chain"] = chain_digest("", header)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._tail = header["chain"]
+        return header
+
+    # ------------------------------------------------------------------
+    def load(
+        self, repair: bool = False,
+    ) -> Tuple[Dict, List[Dict], Optional[JournalDefect]]:
+        """Parse the journal: ``(header, events, defect)``.
+
+        The walk stops at the first untrustworthy line and reports it
+        as the ``defect`` (``None`` for a fully intact journal); every
+        event before it is returned.  ``repair=True`` also truncates
+        the file back to the intact prefix — the restarting scheduler
+        does this; read-only consumers (``repro status``, the
+        invariant checker) must not.
+
+        A missing or invalid *header* is unrecoverable either way and
+        raises :class:`CheckpointCorruptError` — there is no campaign
+        identity left to resume.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8",
+                      errors="replace") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise CheckpointCorruptError(
+                f"cannot read job journal {self.path}: {exc}"
+            ) from exc
+
+        lines = raw.split("\n")
+        trailing_ok = lines and lines[-1] == ""
+        if trailing_ok:
+            lines = lines[:-1]
+        if not lines:
+            raise CheckpointCorruptError(
+                f"job journal {self.path} is empty")
+
+        header = self._parse_header(lines[0])
+        events: List[Dict] = []
+        good_bytes = len(lines[0]) + 1
+        tail = header["chain"]
+        defect: Optional[JournalDefect] = None
+        for i, line in enumerate(lines[1:], start=2):
+            is_last = i == len(lines)
+            truncated = is_last and not trailing_ok
+            record = None
+            if not truncated:
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    record = None
+            reason = None
+            if truncated:
+                reason = "truncated mid-write"
+            elif record is None or not isinstance(record, dict) \
+                    or "event" not in record:
+                reason = "unparseable event record"
+            elif record.get("chain") != chain_digest(tail, record):
+                reason = "integrity chain broken (corrupted, edited, " \
+                    "duplicated or reordered event)"
+            if reason is not None:
+                defect = JournalDefect(line=i, reason=reason,
+                                       is_tail=is_last)
+                if repair:
+                    self._truncate(good_bytes)
+                break
+            events.append(record)
+            tail = record["chain"]
+            good_bytes += len(line) + 1
+        self._tail = tail
+        return header, events, defect
+
+    def _parse_header(self, line: str) -> Dict:
+        try:
+            header = json.loads(line)
+        except ValueError:
+            header = None
+        if not isinstance(header, dict) or \
+                header.get("kind") != HEADER_KIND:
+            raise CheckpointCorruptError(
+                f"job journal {self.path} has no valid header"
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise CheckpointCorruptError(
+                f"job journal {self.path} is format version "
+                f"{header.get('version')!r}, expected {FORMAT_VERSION}"
+            )
+        if header.get("chain") != chain_digest("", header):
+            raise CheckpointCorruptError(
+                f"job journal {self.path} header fails its own chain "
+                "digest (corrupted or hand-edited header)"
+            )
+        return header
+
+    def _truncate(self, n_bytes: int) -> None:
+        self.close()
+        with open(self.path, "r+", encoding="utf-8") as handle:
+            handle.truncate(n_bytes)
+
+    # ------------------------------------------------------------------
+    def _ensure_tail(self) -> str:
+        if self._tail is None:
+            _, _, defect = self.load(repair=False)
+            if defect is not None:
+                raise CheckpointCorruptError(
+                    f"job journal {self.path} has an unrepaired defect "
+                    f"({defect.describe()}); load(repair=True) first"
+                )
+        assert self._tail is not None
+        return self._tail
+
+    def append(self, event: Dict[str, Any]) -> Dict[str, Any]:
+        """Durably append one event (flush + fsync before returning).
+
+        The event is chained onto the journal's current tail; the
+        chained record (with its digest) is returned so callers can
+        reuse it.  The ``queue.append`` chaos point lives here — the
+        ``queue_torn_write`` class persists half the line and kills
+        the scheduler mid-append, exactly like ENOSPC + SIGKILL.
+        """
+        if event.get("event") not in EVENT_TYPES:
+            raise CheckpointCorruptError(
+                f"unknown journal event type {event.get('event')!r}")
+        tail = self._ensure_tail()
+        chained = {k: v for k, v in event.items() if k != "chain"}
+        chained["chain"] = chain_digest(tail, chained)
+        line = json.dumps(chained) + "\n"
+        _chaos("queue.append", store=self, line=line)
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._tail = chained["chain"]
+        return chained
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The multi-process submission spool
+    # ------------------------------------------------------------------
+    def spool_request(self, doc: Dict[str, Any], name: str) -> str:
+        """Atomically drop one request document into the spool.
+
+        ``name`` must be filesystem-safe and unique per request (the
+        job id).  Used by ``repro submit`` / ``repro cancel`` running
+        in a different process than the scheduler: the spool file is
+        written next to the journal via temp + ``os.replace``, so the
+        scheduler either sees a complete request or none at all.
+        """
+        os.makedirs(self.spool_dir, exist_ok=True)
+        path = os.path.join(self.spool_dir, name)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return path
+
+    def spooled_requests(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """The pending spool documents, in arrival order.
+
+        Ordered by mtime (ties broken by name): a ``submit`` followed
+        by a ``cancel`` of the same job must ingest in that order, and
+        their spool names do not sort chronologically.
+        """
+        try:
+            names = os.listdir(self.spool_dir)
+        except OSError:
+            return []
+        stamped = []
+        for name in names:
+            if name.endswith(".tmp"):
+                continue  # a submitter mid-write (or its crash debris)
+            full = os.path.join(self.spool_dir, name)
+            try:
+                stamp = os.stat(full).st_mtime_ns
+            except OSError:
+                continue  # consumed by a racing scheduler
+            stamped.append((stamp, name))
+        requests = []
+        for _, name in sorted(stamped):
+            path = os.path.join(self.spool_dir, name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    doc = json.load(handle)
+            except (OSError, ValueError):
+                continue  # unreadable request: leave it for inspection
+            if isinstance(doc, dict):
+                requests.append((path, doc))
+        return requests
+
+    @staticmethod
+    def consume_request(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass  # already consumed by a prior (crashed) ingest

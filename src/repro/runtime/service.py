@@ -1,0 +1,1132 @@
+"""Crash-safe multi-campaign scheduler service.
+
+PRs 1/2/4 made a *single* campaign kill-anytime durable.  This module
+makes a *population* of campaigns robust to the process that drives
+them dying: a :class:`SchedulerService` owns a persistent, hash-chained
+job journal (:mod:`repro.runtime.queue`), grants time-bounded fenced
+**leases** over submitted jobs to workers (:mod:`repro.runtime.lease`),
+renews them via heartbeats, and reclaims expired or orphaned leases so
+a SIGKILLed worker's campaign is re-leased and resumed from its own
+hash-chained checkpoint — exactly-once per unit, enforced by the
+resume fingerprint check.
+
+Robustness machinery:
+
+* **Crash recovery by replay.**  The journal is the only durable
+  scheduler state.  A restarting scheduler repairs a torn tail,
+  replays every event, bumps the *epoch*, and immediately reclaims
+  leases granted by the dead incarnation (their in-process workers
+  died with it).
+* **Fencing.**  Every lease carries a per-job monotonic token; a
+  zombie worker whose lease was reclaimed gets its ``complete`` /
+  ``fail`` / heartbeat rejected (recorded as a ``fenced`` event)
+  instead of double-finishing the job.
+* **Retry + quarantine.**  A job whose attempt *fails* (raises) is
+  retried with exponential backoff; one that exhausts its budget is
+  quarantined as a poison job.  Lease reclamation is infrastructure
+  failure and never consumes the retry budget.
+* **Graceful drain.**  SIGTERM (``repro serve``) stops new grants; the
+  in-flight worker checkpoints, releases its lease and the scheduler
+  exits cleanly — the next ``serve`` resumes mid-campaign.
+* **Falsifiability.**  :func:`verify_journal` replays the event log
+  and flags any broken service invariant (two live leases, a terminal
+  job resurrected, a stale-token write that was not fenced ...), and
+  :func:`run_service_soak` drives a whole population of campaigns
+  through scheduler crashes, worker kills, torn journal writes and
+  partition-shaped lease failures, then audits every campaign against
+  its no-chaos golden twin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.runtime import chaos
+from repro.runtime.errors import (
+    CampaignError,
+    ConfigError,
+    DrainRequested,
+    LeaseLostError,
+    ReproError,
+)
+from repro.runtime.integrity import Violation
+from repro.runtime.lease import Lease, LeaseTable
+from repro.runtime.queue import JobJournal, JournalDefect
+
+#: Job statuses.  ``pending`` and ``leased`` are live; the rest are
+#: terminal — a terminal job is never leased (hence never run) again.
+JOB_STATUSES = ("pending", "leased", "done", "quarantined", "cancelled")
+TERMINAL_STATUSES = ("done", "quarantined", "cancelled")
+
+
+# ----------------------------------------------------------------------
+# Job specs and state
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSpec:
+    """One submitted campaign, as recorded in the journal."""
+
+    job_id: str
+    kind: str = "soak"
+    seed: int = 0
+    n_units: int = 8
+    checkpoint: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id, "kind": self.kind, "seed": self.seed,
+            "n_units": self.n_units, "checkpoint": self.checkpoint,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "JobSpec":
+        if not doc.get("job_id"):
+            raise ConfigError("job spec needs a non-empty job_id")
+        return cls(
+            job_id=str(doc["job_id"]),
+            kind=str(doc.get("kind", "soak")),
+            seed=int(doc.get("seed", 0)),
+            n_units=int(doc.get("n_units", 8)),
+            checkpoint=doc.get("checkpoint"),
+            params=dict(doc.get("params") or {}),
+        )
+
+
+@dataclass
+class JobState:
+    """The scheduler's live view of one job (rebuilt by replay)."""
+
+    spec: JobSpec
+    status: str = "pending"
+    attempts: int = 0        # leases granted (includes crash re-leases)
+    failures: int = 0        # fail events (what the retry budget gates)
+    reclaims: int = 0        # leases revoked after expiry / crash
+    retry_at: float = 0.0    # backoff gate for the next grant
+    summary: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def row(self) -> Dict[str, Any]:
+        """The ``repro status`` accounting row: job health plus the
+        campaign-level diagnosis counters (degraded / quarantined /
+        retried units, leaked threads) from the completion summary."""
+        units = (self.summary or {}).get("units") or {}
+        return {
+            "job": self.spec.job_id, "kind": self.spec.kind,
+            "status": self.status, "attempts": self.attempts,
+            "failures": self.failures, "reclaims": self.reclaims,
+            "units_ok": units.get("ok", 0),
+            "units_degraded": units.get("degraded", 0),
+            "units_quarantined": units.get("quarantined", 0),
+            "units_retried": units.get("retried", 0),
+            "leaked_threads": units.get("leaked", 0),
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """One scheduler's lease/retry policy (what lint CMP005 audits)."""
+
+    lease_ttl: float = 30.0
+    heartbeat_interval: float = 5.0
+    max_job_retries: int = 3
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+
+    def validate(self) -> None:
+        if self.lease_ttl <= 0:
+            raise ConfigError("lease_ttl must be positive")
+        if self.heartbeat_interval <= 0:
+            raise ConfigError("heartbeat_interval must be positive")
+        if self.max_job_retries < 0:
+            raise ConfigError("max_job_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigError("backoff bounds must be >= 0")
+
+    def backoff(self, failures: int) -> float:
+        exponent = max(0, failures - 1)
+        return min(self.backoff_base * self.backoff_factor ** exponent,
+                   self.backoff_max)
+
+    def lint_doc(self, journal: Optional[str] = None) -> Dict[str, Any]:
+        """This config as the ``"service"`` block of a campaigns artifact."""
+        return {
+            "journal": journal,
+            "lease_ttl": self.lease_ttl,
+            "heartbeat_interval": self.heartbeat_interval,
+            "max_job_retries": self.max_job_retries,
+        }
+
+
+# ----------------------------------------------------------------------
+# Job kinds (what a leased worker actually runs)
+# ----------------------------------------------------------------------
+#: ``runner(spec, heartbeat) -> summary``.  ``heartbeat()`` must be
+#: called at least once per unit; a ``False`` return means the lease
+#: was lost and the runner must raise :class:`LeaseLostError`.
+JobRunner = Callable[[JobSpec, Callable[[], bool]], Dict[str, Any]]
+
+JOB_KINDS: Dict[str, JobRunner] = {}
+
+
+def job_kind(name: str) -> Callable[[JobRunner], JobRunner]:
+    def register(fn: JobRunner) -> JobRunner:
+        JOB_KINDS[name] = fn
+        return fn
+    return register
+
+
+def report_digest(report) -> str:
+    """Order-sensitive digest of a campaign report's (id, status, value)
+    rows — the compact equivalence check against a golden twin."""
+    rows = sorted([r.unit_id, r.status, r.value]
+                  for r in report.results.values())
+    payload = json.dumps(rows, sort_keys=True,
+                         separators=(",", ":")).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _campaign_summary(report) -> Dict[str, Any]:
+    return {
+        "units": report.counts(),
+        "digest": report_digest(report),
+        "interrupted": report.interrupted,
+    }
+
+
+def _guarded_progress(heartbeat: Callable[[], bool]):
+    def progress(result, done, total) -> None:
+        if not heartbeat():
+            raise LeaseLostError(
+                "lease lost mid-campaign; stopping with the checkpoint "
+                "intact for the next lease to resume")
+    return progress
+
+
+@job_kind("soak")
+def _run_soak_job(spec: JobSpec,
+                  heartbeat: Callable[[], bool]) -> Dict[str, Any]:
+    """The deterministic service workload: ``n_units`` hash-valued
+    units (identical to the chaos soak's), optionally slowed by
+    ``params["unit_seconds"]`` so CI can kill the scheduler mid-run."""
+    from repro.runtime.runner import CampaignRunner
+
+    runner = CampaignRunner(checkpoint=spec.checkpoint)
+    resume = runner.store is not None and runner.store.exists()
+    report = runner.run(
+        service_job_units(spec),
+        fingerprint=service_job_fingerprint(spec),
+        resume=resume, repair=True,
+        progress=_guarded_progress(heartbeat),
+    )
+    return _campaign_summary(report)
+
+
+@job_kind("grade")
+def _run_grade_job(spec: JobSpec,
+                   heartbeat: Callable[[], bool]) -> Dict[str, Any]:
+    """A real fault-grading campaign: generate the self-test program
+    and grade it hierarchically, checkpointed per fault."""
+    from repro.runtime.campaigns import HierarchicalCampaign
+    from repro.selftest.generator import SelfTestGenerator
+    from repro.selftest.vectors import expand_program
+
+    params = spec.params
+    selftest = SelfTestGenerator().generate(
+        n_controllability_samples=int(params.get("samples", 100)),
+        n_observability_good=int(params.get("good", 6)),
+    )
+    words = expand_program(selftest.program,
+                           int(params.get("iterations", 100)))
+    campaign = HierarchicalCampaign(words, checkpoint=spec.checkpoint)
+    resume = campaign.runner.store is not None \
+        and campaign.runner.store.exists()
+    outcome = campaign.run(resume=resume, repair=True,
+                           progress=_guarded_progress(heartbeat))
+    summary = _campaign_summary(outcome.report)
+    coverage = outcome.result.coverage()
+    summary["coverage"] = round(coverage.coverage_percent, 3)
+    return summary
+
+
+def service_job_units(spec: JobSpec):
+    """The work units of a ``soak``-kind job (deterministic values)."""
+    from repro.runtime.chaos import _soak_value
+    from repro.runtime.runner import WorkUnit
+
+    delay = float(spec.params.get("unit_seconds", 0.0))
+
+    def run(i: int):
+        if delay:
+            time.sleep(delay)
+        return _soak_value(spec.seed, i)
+
+    return [WorkUnit(unit_id=f"unit{i:03d}", run=lambda i=i: run(i))
+            for i in range(spec.n_units)]
+
+
+def service_job_fingerprint(spec: JobSpec) -> Dict[str, Any]:
+    return {"kind": "service-soak", "job": spec.job_id,
+            "seed": spec.seed, "n_units": spec.n_units}
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+class SchedulerService:
+    """Crash-safe scheduler over one persistent job journal.
+
+    Every state transition is journaled *before* the in-memory state
+    changes, so a kill at any instant is recovered by replay.  The
+    journal has exactly one writer — this object — which is why
+    cross-process submission goes through the spool
+    (:meth:`ingest_spool`) instead of appending directly.
+    """
+
+    def __init__(
+        self,
+        journal_path: str,
+        config: ServiceConfig = ServiceConfig(),
+        clock: Callable[[], float] = time.time,
+        meta: Optional[Dict[str, Any]] = None,
+    ):
+        config.validate()
+        self.config = config
+        self.clock = clock
+        self.journal = JobJournal(journal_path)
+        self.jobs: Dict[str, JobState] = {}
+        self.leases = LeaseTable(clock=clock)
+        self.draining = False
+        #: Volatile drain flag — safe to set from a signal handler (a
+        #: plain attribute write, no journal append); the serve loop
+        #: and the in-flight worker's next heartbeat both honour it.
+        self.drain_requested = False
+        self.epoch = 1
+        #: Soak hook: lets the ``heartbeat_delay`` chaos class outrun
+        #: the TTL on a virtual clock.  ``None`` outside soaks.
+        self.chaos_clock_advance: Optional[Callable[[float], None]] = None
+
+        if self.journal.exists():
+            _, events, _ = self.journal.load(repair=True)
+            self._replay(events)
+            self.epoch += 1
+        else:
+            self.journal.create(meta)
+        self.draining = False  # a past incarnation's drain is spent
+        self._append({"event": "start", "epoch": self.epoch,
+                      "pid": os.getpid()})
+
+    # ------------------------------------------------------------------
+    def _append(self, event: Dict[str, Any]) -> Dict[str, Any]:
+        event.setdefault("time", round(self.clock(), 6))
+        return self.journal.append(event)
+
+    def _replay(self, events: Sequence[Dict[str, Any]]) -> None:
+        """Rebuild jobs + leases from the journal (strict: an illegal
+        transition means a scheduler bug or a forged journal, and
+        running on top of it risks double-grading — fail loudly)."""
+        violations: List[Violation] = []
+        replay_events(events, self.jobs, self.leases,
+                      violations, epoch_box=self)
+        if violations:
+            detail = "; ".join(v.describe() for v in violations[:5])
+            raise CampaignError(
+                f"job journal {self.journal.path} replays with "
+                f"{len(violations)} invariant violation(s): {detail}"
+            )
+
+    # ------------------------------------------------------------------
+    # Submission / cancellation
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobState:
+        """Queue one job.  Idempotent by job id (at-least-once
+        submission — spool replays after a crash — lands exactly one
+        journal event)."""
+        existing = self.jobs.get(spec.job_id)
+        if existing is not None:
+            return existing
+        if spec.kind not in JOB_KINDS:
+            raise ConfigError(
+                f"unknown job kind {spec.kind!r}: expected one of "
+                f"{', '.join(sorted(JOB_KINDS))}")
+        self._append({"event": "submit", "job": spec.job_id,
+                      "spec": spec.to_json()})
+        state = JobState(spec=spec)
+        self.jobs[spec.job_id] = state
+        obs.incr("service.jobs.submitted")
+        return state
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a job.  A leased job is cancelled too — its worker's
+        next heartbeat or completion is fenced off."""
+        state = self.jobs.get(job_id)
+        if state is None or state.terminal:
+            return False
+        self._append({"event": "cancel", "job": job_id})
+        state.status = "cancelled"
+        self.leases.mark_terminal(job_id)
+        obs.incr("service.jobs.cancelled")
+        return True
+
+    def ingest_spool(self) -> int:
+        """Fold spooled submit/cancel requests into the journal."""
+        ingested = 0
+        for path, doc in self.journal.spooled_requests():
+            op = doc.get("op")
+            try:
+                if op == "submit":
+                    self.submit(JobSpec.from_json(doc.get("spec") or {}))
+                    ingested += 1
+                elif op == "cancel":
+                    self.cancel(str(doc.get("job", "")))
+                    ingested += 1
+            except ConfigError:
+                pass  # malformed request: drop it rather than wedge
+            self.journal.consume_request(path)
+        return ingested
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+    def lease_next(self, worker: str) -> Optional[Tuple[JobState, Lease]]:
+        """Grant the oldest ready job to ``worker`` (FIFO over
+        submission order, gated by each job's retry backoff)."""
+        if self.draining:
+            return None
+        now = self.clock()
+        for state in self.jobs.values():
+            if state.status != "pending" or state.retry_at > now:
+                continue
+            lease = self.leases.grant(
+                state.spec.job_id, worker,
+                ttl=self.config.lease_ttl, epoch=self.epoch, now=now)
+            state.attempts += 1
+            self._append({
+                "event": "lease", "job": state.spec.job_id,
+                "worker": worker, "token": lease.token,
+                "epoch": lease.epoch, "attempt": state.attempts,
+                "granted": round(lease.granted_at, 6),
+                "expires": round(lease.expires_at, 6),
+            })
+            state.status = "leased"
+            obs.incr("service.leases.granted")
+            return state, lease
+        return None
+
+    def _fence(self, job_id: str, token: int) -> Optional[Lease]:
+        """The uniform ownership check for every worker operation:
+        the token must be the job's current lease *and* the lease must
+        not have expired.  Past the deadline the holder must assume it
+        lost ownership — the scheduler may already have re-leased."""
+        lease = self.leases.get(job_id)
+        if lease is None or lease.token != token:
+            return None
+        if lease.expired(self.clock()):
+            return None
+        return lease
+
+    def _fenced(self, job_id: str, token: int, op: str) -> bool:
+        self._append({"event": "fenced", "job": job_id,
+                      "token": token, "op": op})
+        obs.incr("service.fenced_writes")
+        return False
+
+    def heartbeat(self, job_id: str, token: int) -> bool:
+        """Renew the lease; ``False`` means ownership is gone and the
+        worker must stop touching the job."""
+        fired = chaos.inject("service.heartbeat", job_id=job_id,
+                             token=token)
+        if fired == "lease_lost":
+            # Partition: the scheduler side already gave up on us.
+            lease = self.leases.get(job_id)
+            if lease is not None and lease.token == token:
+                self._reclaim(lease, reason="lease-lost")
+            return False
+        if fired == "heartbeat_delay":
+            # The renewal never arrives and the clock outruns the TTL;
+            # the worker does not know yet and keeps running.
+            if self.chaos_clock_advance is not None:
+                self.chaos_clock_advance(self.config.lease_ttl + 1.0)
+            return True
+        lease = self._fence(job_id, token)
+        if lease is None:
+            return False
+        now = self.clock()
+        renewed = self.leases.renew(job_id, token,
+                                    self.config.lease_ttl, now=now)
+        if renewed is None:
+            return False
+        self._append({"event": "renew", "job": job_id, "token": token,
+                      "expires": round(renewed.expires_at, 6)})
+        obs.incr("service.leases.renewed")
+        obs.observe("service.lease_age_seconds", lease.age(now))
+        return True
+
+    def _reclaim(self, lease: Lease, reason: str) -> None:
+        self._append({"event": "reclaim", "job": lease.job_id,
+                      "token": lease.token, "reason": reason})
+        self.leases.drop(lease.job_id, lease.token)
+        state = self.jobs[lease.job_id]
+        state.status = "pending"
+        state.reclaims += 1
+        state.retry_at = self.clock()  # infrastructure loss: no backoff
+        obs.incr("service.leases.reclaimed")
+        obs.observe("service.lease_age_seconds", lease.age(self.clock()))
+
+    def reclaim_expired(self) -> List[str]:
+        """Revoke every reclaimable lease: past its deadline, or granted
+        by a dead incarnation (whose in-process workers died with it)."""
+        reclaimed = []
+        for lease in self.leases.expired(self.epoch, now=self.clock()):
+            reason = "stale-epoch" if lease.epoch < self.epoch \
+                else "expired"
+            self._reclaim(lease, reason=reason)
+            reclaimed.append(lease.job_id)
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Completion / failure / release
+    # ------------------------------------------------------------------
+    def complete(self, job_id: str, token: int,
+                 summary: Dict[str, Any]) -> bool:
+        if self._fence(job_id, token) is None:
+            return self._fenced(job_id, token, "complete")
+        self._append({"event": "complete", "job": job_id,
+                      "token": token, "summary": summary})
+        state = self.jobs[job_id]
+        state.status = "done"
+        state.summary = summary
+        self.leases.mark_terminal(job_id)
+        obs.incr("service.jobs.done")
+        return True
+
+    def fail(self, job_id: str, token: int, error: str) -> bool:
+        """One attempt failed: retry with backoff, or quarantine the
+        poison job once the budget is spent."""
+        if self._fence(job_id, token) is None:
+            return self._fenced(job_id, token, "fail")
+        state = self.jobs[job_id]
+        failures = state.failures + 1
+        final = failures > self.config.max_job_retries
+        retry_at = None if final \
+            else round(self.clock() + self.config.backoff(failures), 6)
+        self._append({"event": "fail", "job": job_id, "token": token,
+                      "error": error, "final": final,
+                      "retry_at": retry_at})
+        state.failures = failures
+        state.error = error
+        if final:
+            state.status = "quarantined"
+            self.leases.mark_terminal(job_id)
+            obs.incr("service.jobs.quarantined")
+        else:
+            state.status = "pending"
+            state.retry_at = retry_at or 0.0
+            self.leases.drop(job_id, token)
+            obs.incr("service.jobs.retried")
+        return True
+
+    def release(self, job_id: str, token: int) -> bool:
+        """Voluntary give-back (graceful drain): the job returns to the
+        queue with its checkpointed progress, no backoff, no penalty."""
+        if self._fence(job_id, token) is None:
+            return self._fenced(job_id, token, "release")
+        self._append({"event": "release", "job": job_id, "token": token})
+        state = self.jobs[job_id]
+        state.status = "pending"
+        state.retry_at = 0.0
+        self.leases.drop(job_id, token)
+        obs.incr("service.leases.released")
+        return True
+
+    # ------------------------------------------------------------------
+    # The scheduler loop surface
+    # ------------------------------------------------------------------
+    def tick(self) -> List[str]:
+        """One supervision step: ingest spooled requests, reclaim dead
+        leases, export queue-health metrics.  The ``scheduler_crash``
+        chaos class fires here — mid-supervision, like a real SIGKILL."""
+        chaos.inject("service.tick")
+        self.ingest_spool()
+        reclaimed = self.reclaim_expired()
+        obs.gauge_max("service.queue.depth", self.queue_depth())
+        return reclaimed
+
+    def request_drain(self) -> None:
+        """Signal-handler-safe drain request (no journal I/O here)."""
+        self.drain_requested = True
+
+    def drain(self) -> None:
+        if not self.draining:
+            self.draining = True
+            self.drain_requested = True
+            self._append({"event": "drain"})
+
+    def queue_depth(self) -> int:
+        return sum(1 for s in self.jobs.values()
+                   if s.status in ("pending", "leased"))
+
+    def all_terminal(self) -> bool:
+        return all(s.terminal for s in self.jobs.values())
+
+    def status_rows(self) -> List[Dict[str, Any]]:
+        return [state.row() for state in self.jobs.values()]
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+# ----------------------------------------------------------------------
+# The worker
+# ----------------------------------------------------------------------
+class ServiceWorker:
+    """Leases jobs from a scheduler and runs their campaigns."""
+
+    def __init__(self, service: SchedulerService, worker_id: str):
+        self.service = service
+        self.worker_id = worker_id
+
+    def run_next(self) -> Optional[str]:
+        """Lease and run one job.  Returns ``None`` (nothing ready) or
+        the outcome: ``done``, ``failed``, ``lost``, ``fenced``,
+        ``released``."""
+        leased = self.service.lease_next(self.worker_id)
+        if leased is None:
+            return None
+        state, lease = leased
+        spec = state.spec
+
+        def heartbeat() -> bool:
+            if self.service.draining or self.service.drain_requested:
+                raise DrainRequested("scheduler drain requested")
+            return self.service.heartbeat(spec.job_id, lease.token)
+
+        span = obs.span("service.job", key=spec.job_id,
+                        worker=self.worker_id, attempt=state.attempts)
+        with span:
+            try:
+                runner = JOB_KINDS[spec.kind]
+                summary = runner(spec, heartbeat)
+            except LeaseLostError:
+                span.set(outcome="lost")
+                return "lost"
+            except DrainRequested:
+                self.service.release(spec.job_id, lease.token)
+                span.set(outcome="released")
+                return "released"
+            except ReproError as exc:
+                self.service.fail(spec.job_id, lease.token,
+                                  f"{type(exc).__name__}: {exc}")
+                span.set(outcome="failed")
+                return "failed"
+            except Exception as exc:  # noqa: BLE001 — poison-job net
+                self.service.fail(spec.job_id, lease.token,
+                                  f"{type(exc).__name__}: {exc}")
+                span.set(outcome="failed")
+                return "failed"
+            ok = self.service.complete(spec.job_id, lease.token, summary)
+            span.set(outcome="done" if ok else "fenced")
+            return "done" if ok else "fenced"
+
+
+def serve_until_drained(
+    service: SchedulerService,
+    poll_seconds: float = 0.2,
+    idle_exit: bool = True,
+    sleep: Callable[[float], None] = time.sleep,
+    should_drain: Optional[Callable[[], bool]] = None,
+) -> str:
+    """The single-process ``repro serve`` loop: tick, run one job,
+    repeat.  Returns ``"drained"`` (SIGTERM honoured) or ``"idle"``
+    (every submitted job terminal and nothing spooled).
+
+    ``should_drain`` is polled at each round; the CLI's SIGTERM handler
+    only flips a flag (journal writes from inside a signal handler
+    could interleave with an append already in flight), and the loop
+    turns the flag into :meth:`SchedulerService.drain` here.
+    """
+    worker = ServiceWorker(service, worker_id=f"w{os.getpid()}")
+    while True:
+        if service.drain_requested or \
+                (should_drain is not None and should_drain()):
+            service.drain()
+        service.tick()
+        if service.draining and not service.leases.live_jobs():
+            return "drained"
+        outcome = None if service.draining else worker.run_next()
+        if outcome is None and not service.draining:
+            if idle_exit and service.all_terminal() \
+                    and not service.journal.spooled_requests():
+                return "idle"
+            sleep(poll_seconds)
+
+
+# ----------------------------------------------------------------------
+# Journal replay and the invariant checker
+# ----------------------------------------------------------------------
+def replay_events(
+    events: Sequence[Dict[str, Any]],
+    jobs: Dict[str, JobState],
+    leases: LeaseTable,
+    violations: List[Violation],
+    epoch_box: Optional[Any] = None,
+) -> None:
+    """Replay ``events`` into ``jobs``/``leases``, appending a
+    :class:`Violation` for every illegal transition.
+
+    Used in two modes: the restarting scheduler replays strictly (any
+    violation aborts recovery — see :meth:`SchedulerService._replay`),
+    and :func:`verify_journal` replays tolerantly to *report* what a
+    buggy or forged scheduler did.  ``epoch_box.epoch`` is updated
+    with the journal's last ``start`` epoch when given.
+    """
+    epoch = 1
+    open_lease: Dict[str, Tuple[int, float]] = {}  # job -> (token, expires)
+    last_token: Dict[str, int] = {}
+
+    def bad(kind: str, subject: str, message: str) -> None:
+        violations.append(Violation(kind, subject, message))
+
+    for i, event in enumerate(events):
+        kind = event.get("event")
+        job_id = event.get("job")
+        state = jobs.get(job_id) if job_id is not None else None
+
+        if kind == "start":
+            epoch = int(event.get("epoch", epoch))
+            continue
+        if kind == "drain":
+            continue
+        if kind == "submit":
+            if state is not None:
+                bad("double-submit", str(job_id),
+                    f"event {i}: job submitted twice")
+                continue
+            try:
+                spec = JobSpec.from_json(event.get("spec") or {})
+            except ConfigError as exc:
+                bad("bad-spec", str(job_id), f"event {i}: {exc}")
+                continue
+            jobs[spec.job_id] = JobState(spec=spec)
+            continue
+
+        if state is None:
+            bad("unknown-job", str(job_id),
+                f"event {i}: {kind!r} for a job never submitted")
+            continue
+        if state.terminal and kind != "fenced":
+            bad("resurrected-terminal", str(job_id),
+                f"event {i}: {kind!r} after the job reached "
+                f"terminal status {state.status!r}")
+            continue
+
+        token = event.get("token")
+        if kind == "lease":
+            if job_id in open_lease:
+                bad("double-lease", str(job_id),
+                    f"event {i}: lease granted while lease token "
+                    f"{open_lease[job_id][0]} is still open")
+                continue
+            expected = last_token.get(job_id, 0) + 1
+            if token != expected:
+                bad("token-reuse", str(job_id),
+                    f"event {i}: lease token {token!r}, expected "
+                    f"{expected} (tokens must be per-job monotonic)")
+                continue
+            lease = Lease(
+                job_id=job_id, worker=str(event.get("worker", "?")),
+                token=int(token), epoch=int(event.get("epoch", epoch)),
+                granted_at=float(event.get("granted", 0.0)),
+                expires_at=float(event.get("expires", 0.0)),
+            )
+            leases._tokens[job_id] = lease.token
+            leases._live[job_id] = lease
+            open_lease[job_id] = (lease.token, lease.expires_at)
+            last_token[job_id] = lease.token
+            state.status = "leased"
+            state.attempts += 1
+            continue
+
+        if kind == "fenced":
+            open_ = open_lease.get(job_id)
+            if open_ is not None and open_[0] == token:
+                # Fencing the *current* token is legal exactly when the
+                # lease had already expired (a zombie worker outrunning
+                # its TTL before the scheduler reclaims); fencing a
+                # live, unexpired lease means the fence itself lied.
+                when = event.get("time")
+                expired = isinstance(when, (int, float)) \
+                    and when >= open_[1]
+                if not expired:
+                    bad("fenced-current", str(job_id),
+                        f"event {i}: current unexpired lease token "
+                        f"{token} was fenced (only stale or expired "
+                        "writes may be)")
+            continue
+        if kind == "cancel":
+            # Scheduler-originated: quotes no fencing token, and is
+            # legal whether or not the job is currently leased.
+            open_lease.pop(job_id, None)
+            state.status = "cancelled"
+            leases.mark_terminal(job_id)
+            continue
+
+        open_ = open_lease.get(job_id)
+        if open_ is None or open_[0] != token:
+            bad("stale-write", str(job_id),
+                f"event {i}: {kind!r} quotes token {token!r} but the "
+                f"open lease is {open_ and open_[0]!r} — the write "
+                "should have been fenced")
+            continue
+
+        if kind == "renew":
+            expires = float(event.get("expires", open_[1]))
+            open_lease[job_id] = (open_[0], expires)
+            renewed = leases.renew(job_id, int(token),
+                                   ttl=0.0, now=expires)
+            if renewed is None:  # table drifted (verify-only path)
+                leases._live[job_id] = Lease(
+                    job_id=job_id, worker="?", token=int(token),
+                    epoch=epoch, granted_at=0.0, expires_at=expires)
+            continue
+        if kind == "reclaim":
+            del open_lease[job_id]
+            leases.drop(job_id, int(token))
+            state.status = "pending"
+            state.reclaims += 1
+            continue
+        if kind == "release":
+            del open_lease[job_id]
+            leases.drop(job_id, int(token))
+            state.status = "pending"
+            continue
+        if kind == "complete":
+            del open_lease[job_id]
+            state.status = "done"
+            state.summary = event.get("summary")
+            leases.mark_terminal(job_id)
+            continue
+        if kind == "fail":
+            del open_lease[job_id]
+            state.failures += 1
+            state.error = event.get("error")
+            if event.get("final"):
+                state.status = "quarantined"
+                leases.mark_terminal(job_id)
+            else:
+                state.status = "pending"
+                state.retry_at = float(event.get("retry_at") or 0.0)
+                leases.drop(job_id, int(token))
+            continue
+        bad("unknown-event", str(job_id),
+            f"event {i}: unrecognised event type {kind!r}")
+
+    if epoch_box is not None:
+        epoch_box.epoch = epoch
+
+
+def verify_journal(
+    journal_path: str,
+    require_terminal: bool = False,
+) -> List[Violation]:
+    """Audit one service journal; returns every violated invariant.
+
+    Invariants: the chain is intact up to at most a torn *tail* (a
+    normal crash artefact — interior corruption is a violation); no
+    job ever holds two live leases; lease tokens are per-job
+    monotonic; every ``complete``/``fail``/``release``/``renew``
+    quotes the open lease's token (stale writes must appear as
+    ``fenced`` events instead); no event ever follows a terminal
+    status — a terminal job is never re-run; and, when
+    ``require_terminal`` is set (a finished soak / drained queue),
+    every submitted job reached exactly one terminal status.
+    """
+    from repro.runtime.errors import CheckpointCorruptError
+
+    violations: List[Violation] = []
+    journal = JobJournal(journal_path)
+    try:
+        _, events, defect = journal.load(repair=False)
+    except CheckpointCorruptError as exc:
+        return [Violation("broken-journal", journal_path, str(exc))]
+    if defect is not None and not defect.is_tail:
+        violations.append(Violation(
+            "journal-interior-defect", journal_path, defect.describe()))
+
+    jobs: Dict[str, JobState] = {}
+    replay_events(events, jobs, LeaseTable(), violations)
+
+    if require_terminal:
+        for job_id, state in jobs.items():
+            if not state.terminal:
+                violations.append(Violation(
+                    "non-terminal", job_id,
+                    f"job ended the run in status {state.status!r}"))
+    return violations
+
+
+def journal_status(journal_path: str) -> List[Dict[str, Any]]:
+    """The ``repro status`` rows, read-only (tolerates a live writer
+    and a torn tail; never mutates the journal)."""
+    journal = JobJournal(journal_path)
+    _, events, _ = journal.load(repair=False)
+    jobs: Dict[str, JobState] = {}
+    replay_events(events, jobs, LeaseTable(), violations=[])
+    rows = [state.row() for state in jobs.values()]
+    spooled = {doc.get("spec", {}).get("job_id")
+               for _, doc in journal.spooled_requests()
+               if doc.get("op") == "submit"}
+    spooled.discard(None)
+    for job_id in sorted(spooled - set(jobs)):
+        rows.append({"job": job_id, "kind": "?", "status": "spooled",
+                     "attempts": 0, "failures": 0, "reclaims": 0,
+                     "units_ok": 0, "units_degraded": 0,
+                     "units_quarantined": 0, "units_retried": 0,
+                     "leaked_threads": 0, "error": None})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# The service soak (``repro serve --soak``)
+# ----------------------------------------------------------------------
+class _VirtualClock:
+    """Deterministic, manually advanced wall clock for the soak."""
+
+    def __init__(self, start: float = 1_000_000.0):
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+
+@dataclass
+class ServiceSoakReport:
+    """Aggregate outcome of one ``repro serve --soak`` invocation."""
+
+    seed: int
+    classes: Tuple[str, ...]
+    n_jobs: int
+    scheduler_crashes: int = 0
+    worker_crashes: int = 0
+    reclaims: int = 0
+    fenced: int = 0
+    releases: int = 0
+    leases: int = 0
+    injections: Dict[str, int] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def n_crashes(self) -> int:
+        return self.scheduler_crashes + self.worker_crashes
+
+    @property
+    def n_disruptions(self) -> int:
+        """Crash + reclaim events — the soak's headline number."""
+        return self.n_crashes + self.reclaims
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        injected = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(self.injections.items()) if count)
+        return (
+            f"{self.n_jobs} service campaigns: "
+            f"{self.scheduler_crashes} scheduler crashes, "
+            f"{self.worker_crashes} worker crashes, "
+            f"{self.reclaims} lease reclaims, {self.fenced} fenced "
+            f"writes, {len(self.violations)} invariant violations "
+            f"[{injected or 'nothing injected'}]"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "classes": list(self.classes),
+            "jobs": self.n_jobs,
+            "scheduler_crashes": self.scheduler_crashes,
+            "worker_crashes": self.worker_crashes,
+            "reclaims": self.reclaims,
+            "fenced": self.fenced,
+            "releases": self.releases,
+            "leases": self.leases,
+            "disruptions": self.n_disruptions,
+            "injections": {k: v for k, v in
+                           sorted(self.injections.items()) if v},
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+
+def run_service_soak(
+    seed: int,
+    campaigns: int = 25,
+    n_units: int = 8,
+    classes: Sequence[str] = chaos.SERVICE_SOAK_CLASSES,
+    probability: float = 0.4,
+    max_per_class: Optional[int] = None,
+    scratch: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ServiceSoakReport:
+    """Soak the scheduler: submit ``campaigns`` jobs, then keep killing
+    the scheduler, killing workers mid-unit, tearing journal writes and
+    dropping/starving leases until every job still lands terminal
+    exactly once with a report identical to its no-chaos golden twin.
+
+    The whole run is single-process and deterministic: workers live in
+    the scheduler's process (a crash kills both, exactly like the real
+    single-process ``repro serve``), time is a virtual clock, and every
+    failure comes from the seeded :class:`~repro.runtime.chaos.ChaosMonkey`.
+    """
+    import shutil
+    import tempfile
+
+    from repro.runtime.chaos import ChaosConfig, ChaosKill, ChaosMonkey
+    from repro.runtime.checkpoint import CheckpointStore
+    from repro.runtime.integrity import verify_campaign
+    from repro.runtime.runner import CampaignReport, CampaignRunner, \
+        UnitResult
+
+    classes = tuple(classes)
+    if max_per_class is None:
+        # Scale the chaos budget with the population so a full-size
+        # soak (25 campaigns) suffers well over 50 crash/reclaim events.
+        max_per_class = max(2, campaigns // 2)
+    own_scratch = scratch is None
+    scratch = scratch or tempfile.mkdtemp(prefix="repro-serve-")
+    os.makedirs(scratch, exist_ok=True)
+    journal_path = os.path.join(scratch, "service.jsonl")
+
+    def say(text: str) -> None:
+        if progress is not None:
+            progress(text)
+
+    report = ServiceSoakReport(seed=seed, classes=classes,
+                               n_jobs=campaigns)
+    specs = []
+    goldens: Dict[str, CampaignReport] = {}
+    for i in range(campaigns):
+        job_seed = seed * 1_000_003 + i
+        spec = JobSpec(
+            job_id=f"job{i:03d}", kind="soak", seed=job_seed,
+            n_units=n_units,
+            checkpoint=os.path.join(scratch, f"job{i:03d}.jsonl"),
+        )
+        specs.append(spec)
+        goldens[spec.job_id] = CampaignRunner().run(
+            service_job_units(spec))
+
+    config = ChaosConfig(seed=seed, classes=classes,
+                         probability=probability,
+                         max_per_class=max_per_class, scratch=scratch)
+    monkey = chaos.install(ChaosMonkey(
+        config, horizon=max(4, campaigns * n_units // 4)))
+    clock = _VirtualClock()
+    svc_config = ServiceConfig(
+        lease_ttl=30.0, heartbeat_interval=5.0, max_job_retries=4,
+        backoff_base=1.0, backoff_max=8.0,
+    )
+    # Generous convergence bound: every injection forces at most a few
+    # extra scheduler rounds, and each job needs only one clean pass.
+    budget = 50 + campaigns * 8 + 12 * max_per_class * len(classes)
+    service: Optional[SchedulerService] = None
+    worker: Optional[ServiceWorker] = None
+    try:
+        while True:
+            if budget <= 0:
+                raise CampaignError(
+                    "service soak failed to converge (round budget "
+                    "exhausted without all jobs terminal)")
+            budget -= 1
+            try:
+                if service is None:
+                    service = SchedulerService(
+                        journal_path, config=svc_config, clock=clock.now)
+                    service.chaos_clock_advance = clock.advance
+                    worker = ServiceWorker(service, worker_id="w1")
+                for spec in specs:
+                    service.submit(spec)  # idempotent re-submission
+                service.tick()
+                if service.all_terminal():
+                    break
+                outcome = worker.run_next()
+                if outcome is None:
+                    # Everything ready is leased or backing off: let
+                    # TTLs and retry gates expire.
+                    clock.advance(svc_config.heartbeat_interval)
+            except ChaosKill as kill:
+                # Single process: any simulated SIGKILL takes down the
+                # scheduler and its in-process workers together.
+                if "mid-campaign" in str(kill):
+                    report.worker_crashes += 1
+                    say(f"worker killed mid-unit ({kill})")
+                else:
+                    report.scheduler_crashes += 1
+                    say(f"scheduler killed ({kill})")
+                if service is not None:
+                    service.close()
+                service = None
+                continue
+    finally:
+        chaos.uninstall()
+
+    report.injections = monkey.injection_counts()
+
+    # ---- the audit --------------------------------------------------
+    report.violations.extend(
+        verify_journal(journal_path, require_terminal=True))
+    _, events, _ = JobJournal(journal_path).load(repair=False)
+    report.reclaims = sum(1 for e in events if e["event"] == "reclaim")
+    report.fenced = sum(1 for e in events if e["event"] == "fenced")
+    report.releases = sum(1 for e in events if e["event"] == "release")
+    report.leases = sum(1 for e in events if e["event"] == "lease")
+    completes = {e["job"]: e for e in events
+                 if e["event"] == "complete"}
+
+    for spec in specs:
+        golden = goldens[spec.job_id]
+        expected = [u.unit_id for u in service_job_units(spec)]
+        try:
+            _, records = CheckpointStore(spec.checkpoint).load()
+        except Exception as exc:  # noqa: BLE001 — audited below
+            report.violations.append(Violation(
+                "broken-chain", spec.checkpoint or spec.job_id,
+                str(exc)))
+            continue
+        rebuilt = CampaignReport()
+        for unit_id in expected:
+            if unit_id in records:
+                rebuilt.results[unit_id] = \
+                    UnitResult.from_record(records[unit_id])
+        report.violations.extend(verify_campaign(
+            rebuilt, checkpoint=spec.checkpoint, golden=golden,
+            expected_units=expected))
+        complete = completes.get(spec.job_id)
+        if complete is not None:
+            recorded = (complete.get("summary") or {}).get("digest")
+            if recorded != report_digest(golden):
+                report.violations.append(Violation(
+                    "summary-digest-mismatch", spec.job_id,
+                    f"completion summary digest {recorded!r} differs "
+                    "from the golden twin's"))
+        say(f"{spec.job_id}: audited")
+
+    if own_scratch:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return report

@@ -1,4 +1,4 @@
-"""Tests for the campaign-config lint rules (CMP001..CMP003)."""
+"""Tests for the campaign-config lint rules (CMP001..CMP005)."""
 
 from repro.lint.campaign_rules import CampaignConfig, lint_campaigns
 from repro.lint.findings import Severity
@@ -162,3 +162,95 @@ def test_from_doc_carries_chaos_block():
     config = CampaignConfig.from_doc(
         {"name": "x", "chaos": {"seed": 1}})
     assert config.chaos == {"seed": 1}
+
+
+# ----------------------------------------------------------------------
+# CMP005: self-defeating scheduler-service policies
+# ----------------------------------------------------------------------
+def test_cmp005_clean_service_block_passes(tmp_path):
+    config = CampaignConfig(
+        name="svc", checkpoint=str(tmp_path / "svc.jsonl"),
+        service={"lease_ttl": 30.0, "heartbeat_interval": 5.0,
+                 "max_job_retries": 3,
+                 "journal": str(tmp_path / "queue.jsonl")},
+    )
+    assert lint_campaigns([config]).findings == []
+
+
+def test_cmp005_ttl_not_longer_than_heartbeat_flagged():
+    config = CampaignConfig(
+        name="thrash",
+        service={"lease_ttl": 2.0, "heartbeat_interval": 5.0})
+    report = lint_campaigns([config])
+    cmp005 = [f for f in report if f.rule == "CMP005"]
+    assert len(cmp005) == 1
+    assert cmp005[0].location == "campaign:thrash:service.lease_ttl"
+    assert cmp005[0].severity is Severity.ERROR
+    assert "expires before its first renewal" in cmp005[0].message
+
+
+def test_cmp005_non_positive_intervals_flagged():
+    config = CampaignConfig(
+        name="frozen",
+        service={"lease_ttl": 0, "heartbeat_interval": -1.0})
+    report = lint_campaigns([config])
+    cmp005 = [f for f in report if f.rule == "CMP005"]
+    assert {f.location for f in cmp005} == {
+        "campaign:frozen:service.lease_ttl",
+        "campaign:frozen:service.heartbeat_interval",
+    }
+    assert all(f.severity is Severity.ERROR for f in cmp005)
+
+
+def test_cmp005_zero_retry_budget_is_warning():
+    config = CampaignConfig(
+        name="poison-prone",
+        service={"lease_ttl": 30.0, "heartbeat_interval": 5.0,
+                 "max_job_retries": 0})
+    report = lint_campaigns([config])
+    cmp005 = [f for f in report if f.rule == "CMP005"]
+    assert len(cmp005) == 1
+    assert cmp005[0].severity is Severity.WARNING
+    assert "quarantines" in cmp005[0].message
+
+
+def test_cmp005_journal_inside_chaos_scratch_flagged(tmp_path):
+    scratch = tmp_path / "scratch"
+    config = CampaignConfig(
+        name="self-destructive",
+        chaos={"seed": 1, "scratch": str(scratch)},
+        service={"lease_ttl": 30.0, "heartbeat_interval": 5.0,
+                 "journal": str(scratch / "queue.jsonl")},
+    )
+    report = lint_campaigns([config])
+    cmp005 = [f for f in report if f.rule == "CMP005"]
+    assert len(cmp005) == 1
+    assert cmp005[0].location == \
+        "campaign:self-destructive:service.journal"
+    assert cmp005[0].severity is Severity.ERROR
+
+
+def test_cmp005_journal_outside_chaos_scratch_passes(tmp_path):
+    config = CampaignConfig(
+        name="separated",
+        chaos={"seed": 1, "scratch": str(tmp_path / "scratch")},
+        service={"lease_ttl": 30.0, "heartbeat_interval": 5.0,
+                 "journal": str(tmp_path / "queue.jsonl")},
+    )
+    assert lint_campaigns([config]).findings == []
+
+
+def test_cmp005_non_object_service_block_flagged():
+    report = lint_campaigns(
+        [CampaignConfig(name="a", service="fast please")])
+    assert {f.rule for f in report} == {"CMP005"}
+
+
+def test_cmp005_no_service_block_is_silent():
+    assert lint_campaigns([CampaignConfig(name="a")]).findings == []
+
+
+def test_from_doc_carries_service_block():
+    config = CampaignConfig.from_doc(
+        {"name": "x", "service": {"lease_ttl": 10}})
+    assert config.service == {"lease_ttl": 10}

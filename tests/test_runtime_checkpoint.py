@@ -2,6 +2,7 @@
 
 import json
 import os
+import time
 
 import pytest
 
@@ -123,10 +124,17 @@ def test_corrupt_error_is_repro_error(tmp_path):
 # ----------------------------------------------------------------------
 # Stale-tmp sweep (crash between write and os.replace)
 # ----------------------------------------------------------------------
+def _age_tmp(path: str, seconds: float = 120.0) -> None:
+    """Back-date a ``.tmp`` past the sweep's grace window."""
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
 def test_stale_tmp_swept_on_create(tmp_path):
     path = str(tmp_path / "campaign.jsonl")
     with open(path + ".tmp", "w") as handle:
         handle.write('{"kind": "half-written hea')
+    _age_tmp(path + ".tmp")
     store = CheckpointStore(path)
     store.create({"n": 1})
     assert not os.path.exists(path + ".tmp")
@@ -136,6 +144,26 @@ def test_stale_tmp_swept_on_load(tmp_path):
     store = make_store(tmp_path, [{"unit": "a", "status": "ok"}])
     with open(store.path + ".tmp", "w") as handle:
         handle.write('{"kind": "half-written hea')
+    _age_tmp(store.path + ".tmp")
+    store.load()
+    assert not os.path.exists(store.path + ".tmp")
+
+
+def test_fresh_tmp_left_alone(tmp_path):
+    """A young ``.tmp`` may belong to a live writer racing this process
+    (another create() between its write and os.replace) — the sweep
+    must not yank it out from under them."""
+    store = make_store(tmp_path, [{"unit": "a", "status": "ok"}])
+    with open(store.path + ".tmp", "w") as handle:
+        handle.write('{"kind": "mid-flight create"')
+    store.load()
+    assert os.path.exists(store.path + ".tmp")
+
+
+def test_tmp_vanishing_mid_sweep_is_ignored(tmp_path):
+    """Two sweepers racing: losing the os.remove race is not an error."""
+    store = make_store(tmp_path, [{"unit": "a", "status": "ok"}])
+    # No .tmp at all exercises the same ENOENT path as losing the race.
     store.load()
     assert not os.path.exists(store.path + ".tmp")
 

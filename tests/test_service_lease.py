@@ -1,0 +1,172 @@
+"""Tests for lease-based job ownership, including a hypothesis
+state-machine suite driving arbitrary interleavings of grant, renew,
+expiry, reclaim and terminal transitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.lease import Lease, LeaseError, LeaseTable
+
+
+def make_table(start=100.0):
+    state = {"now": start}
+    table = LeaseTable(clock=lambda: state["now"])
+    return table, state
+
+
+# ----------------------------------------------------------------------
+# Directed unit tests
+# ----------------------------------------------------------------------
+def test_grant_and_fence_roundtrip():
+    table, state = make_table()
+    lease = table.grant("j", "w1", ttl=10.0, epoch=1)
+    assert lease.token == 1
+    assert table.validate("j", lease.token)
+    assert not table.validate("j", lease.token + 1)
+
+
+def test_double_grant_refused():
+    table, _ = make_table()
+    table.grant("j", "w1", ttl=10.0, epoch=1)
+    with pytest.raises(LeaseError, match="live lease"):
+        table.grant("j", "w2", ttl=10.0, epoch=1)
+
+
+def test_tokens_strictly_increase_across_reclaims():
+    table, state = make_table()
+    first = table.grant("j", "w1", ttl=10.0, epoch=1)
+    state["now"] += 11.0
+    assert table.expired(epoch=1) == [first]
+    table.drop("j", first.token)
+    second = table.grant("j", "w2", ttl=10.0, epoch=1)
+    assert second.token == first.token + 1
+
+
+def test_expiry_makes_reclaimable_not_invalid():
+    """Past the TTL the lease is *reclaimable*; until the scheduler
+    actually drops it, the token still names the current lease."""
+    table, state = make_table()
+    lease = table.grant("j", "w1", ttl=5.0, epoch=1)
+    state["now"] += 6.0
+    assert table.validate("j", lease.token)   # still the current lease
+    assert table.expired(epoch=1) == [lease]  # ... but reclaimable
+
+
+def test_stale_epoch_is_reclaimable_immediately():
+    table, state = make_table()
+    lease = table.grant("j", "w1", ttl=1000.0, epoch=1)
+    assert table.expired(epoch=1) == []
+    assert table.expired(epoch=2) == [lease]  # dead incarnation's grant
+
+
+def test_renew_extends_only_current_token():
+    table, state = make_table()
+    lease = table.grant("j", "w1", ttl=5.0, epoch=1)
+    state["now"] += 3.0
+    renewed = table.renew("j", lease.token, ttl=5.0)
+    assert renewed is not None
+    assert renewed.expires_at == state["now"] + 5.0
+    assert table.renew("j", lease.token + 7, ttl=5.0) is None
+
+
+def test_drop_requires_matching_token():
+    table, _ = make_table()
+    lease = table.grant("j", "w1", ttl=5.0, epoch=1)
+    assert table.drop("j", lease.token + 1) is None
+    assert table.drop("j", lease.token) == lease
+    assert table.get("j") is None
+
+
+def test_terminal_job_never_leasable_again():
+    table, _ = make_table()
+    lease = table.grant("j", "w1", ttl=5.0, epoch=1)
+    table.mark_terminal("j")
+    assert table.get("j") is None  # terminal drops any live lease
+    with pytest.raises(LeaseError, match="terminal"):
+        table.grant("j", "w2", ttl=5.0, epoch=1)
+
+
+def test_lease_age():
+    lease = Lease(job_id="j", worker="w", token=1, epoch=1,
+                  granted_at=10.0, expires_at=20.0)
+    assert lease.age(now=15.0) == 5.0
+    assert lease.age(now=5.0) == 0.0  # clock skew never goes negative
+
+
+# ----------------------------------------------------------------------
+# Property: arbitrary interleavings preserve the ownership invariants
+# ----------------------------------------------------------------------
+#: One step of the interleaving: (operation, job index, tick seconds).
+_STEPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ("grant", "renew", "reclaim", "complete", "tick",
+             "stale_renew", "stale_drop")),
+        st.integers(min_value=0, max_value=2),   # job index
+        st.floats(min_value=0.0, max_value=7.0),  # clock advance
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=_STEPS)
+def test_lease_state_machine_invariants(steps):
+    """Under any interleaving of grants, renewals, expiries, reclaims
+    and completions: every job holds at most one live lease, fencing
+    tokens strictly increase per job, a stale token never acts, and a
+    terminal job is never resurrected."""
+    table, state = make_table()
+    ttl = 5.0
+    jobs = [f"job{i}" for i in range(3)]
+    last_token = {j: 0 for j in jobs}
+    terminal = set()
+
+    for op, index, tick in steps:
+        job = jobs[index]
+        state["now"] += tick
+        current = table.get(job)
+
+        if op == "grant":
+            if job in terminal:
+                with pytest.raises(LeaseError):
+                    table.grant(job, "w", ttl=ttl, epoch=1)
+            elif current is not None:
+                with pytest.raises(LeaseError):
+                    table.grant(job, "w", ttl=ttl, epoch=1)
+            else:
+                lease = table.grant(job, "w", ttl=ttl, epoch=1)
+                # Fencing tokens strictly increase, across any history.
+                assert lease.token == last_token[job] + 1
+                last_token[job] = lease.token
+        elif op == "renew" and current is not None:
+            renewed = table.renew(job, current.token, ttl=ttl)
+            assert renewed is not None
+            assert renewed.token == current.token  # renewal never mints
+        elif op == "stale_renew":
+            # A token that was never issued (or long superseded).
+            assert table.renew(job, last_token[job] + 5, ttl=ttl) is None
+        elif op == "stale_drop":
+            assert table.drop(job, last_token[job] + 5) is None
+        elif op == "reclaim":
+            for lease in table.expired(epoch=1):
+                dropped = table.drop(lease.job_id, lease.token)
+                assert dropped is not None
+                # Reclamation never touches a terminal job.
+                assert lease.job_id not in terminal
+        elif op == "complete" and current is not None:
+            table.mark_terminal(job)
+            terminal.add(job)
+        # op == "tick": only the clock moved.
+
+        # ---- global invariants, checked after every step ------------
+        live = table.live_jobs()
+        assert len(live) == len(set(live))  # at most one lease per job
+        for job_id in live:
+            assert job_id not in terminal   # no terminal resurrection
+            lease = table.get(job_id)
+            assert lease.token == last_token[job_id]  # newest grant wins
+        for job_id in terminal:
+            assert table.is_terminal(job_id)
+            assert table.get(job_id) is None

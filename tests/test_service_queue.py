@@ -1,0 +1,143 @@
+"""Tests for the service job journal (hash-chained JSONL + spool)."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.errors import CheckpointCorruptError
+from repro.runtime.queue import (
+    EVENT_TYPES,
+    FORMAT_VERSION,
+    HEADER_KIND,
+    JobJournal,
+)
+
+
+def make_journal(tmp_path, events=()):
+    journal = JobJournal(str(tmp_path / "svc.jsonl"))
+    journal.create({"owner": "test"})
+    for event in events:
+        journal.append(dict(event))
+    journal.close()
+    return journal
+
+
+def test_create_and_load_roundtrip(tmp_path):
+    journal = make_journal(tmp_path, [
+        {"event": "start", "epoch": 1},
+        {"event": "submit", "job": "a", "spec": {"job_id": "a"}},
+    ])
+    header, events, defect = journal.load()
+    assert header["kind"] == HEADER_KIND
+    assert header["version"] == FORMAT_VERSION
+    assert defect is None
+    assert [e["event"] for e in events] == ["start", "submit"]
+
+
+def test_append_chains_records(tmp_path):
+    journal = make_journal(tmp_path, [{"event": "start", "epoch": 1}])
+    _, events, _ = journal.load()
+    assert "chain" in events[0]
+
+
+def test_unknown_event_type_rejected(tmp_path):
+    journal = make_journal(tmp_path)
+    journal.load()
+    with pytest.raises(CheckpointCorruptError, match="unknown"):
+        journal.append({"event": "not-a-thing"})
+    assert "not-a-thing" not in EVENT_TYPES
+
+
+def test_torn_tail_is_tail_defect_and_repairable(tmp_path):
+    journal = make_journal(tmp_path, [
+        {"event": "start", "epoch": 1},
+        {"event": "submit", "job": "a", "spec": {"job_id": "a"}},
+    ])
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write('{"event": "lease", "job": "a"')  # no newline: torn
+    _, events, defect = journal.load()
+    assert defect is not None and defect.is_tail
+    assert len(events) == 2  # the intact prefix survives
+    _, events, defect = journal.load(repair=True)
+    assert defect is not None
+    # After repair the torn line is gone and appends chain cleanly on.
+    journal.append({"event": "drain"})
+    journal.close()
+    _, events, defect = journal.load()
+    assert defect is None
+    assert [e["event"] for e in events] == ["start", "submit", "drain"]
+
+
+def test_interior_edit_is_not_a_tail_defect(tmp_path):
+    journal = make_journal(tmp_path, [
+        {"event": "start", "epoch": 1},
+        {"event": "submit", "job": "a", "spec": {"job_id": "a"}},
+        {"event": "drain"},
+    ])
+    with open(journal.path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    with open(journal.path, "w", encoding="utf-8") as handle:
+        handle.write(text.replace('"job": "a"', '"job": "b"'))
+    _, events, defect = journal.load()
+    assert defect is not None and not defect.is_tail
+    assert "chain" in defect.reason
+    assert [e["event"] for e in events] == ["start"]
+
+
+def test_missing_header_raises(tmp_path):
+    path = tmp_path / "svc.jsonl"
+    path.write_text('{"not": "a header"}\n')
+    with pytest.raises(CheckpointCorruptError, match="header"):
+        JobJournal(str(path)).load()
+
+
+def test_version_mismatch_raises(tmp_path):
+    path = tmp_path / "svc.jsonl"
+    path.write_text(json.dumps({
+        "kind": HEADER_KIND, "version": FORMAT_VERSION + 1, "meta": {},
+    }) + "\n")
+    with pytest.raises(CheckpointCorruptError, match="version"):
+        JobJournal(str(path)).load()
+
+
+def test_append_without_repair_on_defective_journal_raises(tmp_path):
+    journal = make_journal(tmp_path, [{"event": "start", "epoch": 1}])
+    with open(journal.path, "a", encoding="utf-8") as handle:
+        handle.write('{"torn')
+    fresh = JobJournal(journal.path)
+    with pytest.raises(CheckpointCorruptError, match="unrepaired"):
+        fresh.append({"event": "drain"})
+
+
+# ----------------------------------------------------------------------
+# The multi-process submission spool
+# ----------------------------------------------------------------------
+def test_spool_roundtrip(tmp_path):
+    journal = make_journal(tmp_path)
+    journal.spool_request({"op": "submit", "spec": {"job_id": "a"}},
+                          name="a.json")
+    journal.spool_request({"op": "cancel", "job": "b"},
+                          name="b.cancel.json")
+    requests = journal.spooled_requests()
+    assert [doc["op"] for _, doc in requests] == ["submit", "cancel"]
+    for path, _ in requests:
+        journal.consume_request(path)
+    assert journal.spooled_requests() == []
+
+
+def test_spool_ignores_tmp_debris(tmp_path):
+    journal = make_journal(tmp_path)
+    os.makedirs(journal.spool_dir, exist_ok=True)
+    with open(os.path.join(journal.spool_dir, "half.json.tmp"),
+              "w") as handle:
+        handle.write('{"op": "subm')  # a submitter died mid-write
+    assert journal.spooled_requests() == []
+
+
+def test_consume_is_idempotent(tmp_path):
+    journal = make_journal(tmp_path)
+    path = journal.spool_request({"op": "cancel", "job": "a"},
+                                 name="a.cancel.json")
+    journal.consume_request(path)
+    journal.consume_request(path)  # crashed-ingest replay: no error

@@ -1,0 +1,589 @@
+"""Tests for the crash-safe campaign scheduler service."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import chaos
+from repro.runtime.errors import (
+    CampaignError,
+    ConfigError,
+    IntegrityError,
+)
+from repro.runtime.integrity import check_journal
+from repro.runtime.queue import JobJournal
+from repro.runtime.service import (
+    JOB_KINDS,
+    JobSpec,
+    SchedulerService,
+    ServiceConfig,
+    ServiceWorker,
+    job_kind,
+    journal_status,
+    run_service_soak,
+    serve_until_drained,
+    service_job_units,
+    verify_journal,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_monkey():
+    chaos.uninstall()
+    yield
+    chaos.uninstall()
+
+
+class Clock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_service(tmp_path, clock=None, **overrides):
+    config = ServiceConfig(**{
+        "lease_ttl": 30.0, "heartbeat_interval": 5.0,
+        "max_job_retries": 2, "backoff_base": 1.0, "backoff_max": 8.0,
+        **overrides,
+    })
+    return SchedulerService(
+        str(tmp_path / "svc.jsonl"), config=config,
+        clock=clock if clock is not None else Clock())
+
+
+def soak_spec(tmp_path, job_id="a", seed=1, n_units=3, kind="soak"):
+    return JobSpec(job_id=job_id, kind=kind, seed=seed, n_units=n_units,
+                   checkpoint=str(tmp_path / f"{job_id}.jsonl"))
+
+
+# ----------------------------------------------------------------------
+# Submission
+# ----------------------------------------------------------------------
+def test_submit_is_idempotent_by_job_id(tmp_path):
+    service = make_service(tmp_path)
+    first = service.submit(soak_spec(tmp_path))
+    second = service.submit(soak_spec(tmp_path))
+    assert first is second
+    _, events, _ = service.journal.load()
+    assert sum(1 for e in events if e["event"] == "submit") == 1
+
+
+def test_submit_unknown_kind_rejected(tmp_path):
+    service = make_service(tmp_path)
+    with pytest.raises(ConfigError, match="kind"):
+        service.submit(JobSpec(job_id="x", kind="nope"))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ServiceConfig(lease_ttl=0).validate()
+    with pytest.raises(ConfigError):
+        ServiceConfig(heartbeat_interval=-1).validate()
+    with pytest.raises(ConfigError):
+        ServiceConfig(max_job_retries=-1).validate()
+
+
+def test_backoff_schedule_caps():
+    config = ServiceConfig(backoff_base=1.0, backoff_factor=2.0,
+                           backoff_max=5.0)
+    assert [config.backoff(k) for k in (1, 2, 3, 4)] == \
+        [1.0, 2.0, 4.0, 5.0]
+
+
+# ----------------------------------------------------------------------
+# Happy path
+# ----------------------------------------------------------------------
+def test_worker_runs_job_to_completion(tmp_path):
+    service = make_service(tmp_path)
+    service.submit(soak_spec(tmp_path, n_units=4))
+    worker = ServiceWorker(service, "w1")
+    assert worker.run_next() == "done"
+    assert worker.run_next() is None
+    state = service.jobs["a"]
+    assert state.status == "done"
+    assert state.summary["units"]["ok"] == 4
+    assert verify_journal(service.journal.path,
+                          require_terminal=True) == []
+
+
+def test_fifo_order_over_pending_jobs(tmp_path):
+    service = make_service(tmp_path)
+    for name in ("first", "second"):
+        service.submit(soak_spec(tmp_path, job_id=name))
+    leased = service.lease_next("w1")
+    assert leased is not None
+    assert leased[0].spec.job_id == "first"
+
+
+def test_cancel_fences_the_in_flight_worker(tmp_path):
+    service = make_service(tmp_path)
+    service.submit(soak_spec(tmp_path))
+    state, lease = service.lease_next("w1")
+    assert service.cancel("a")
+    assert service.heartbeat("a", lease.token) is False
+    assert service.complete("a", lease.token, {}) is False
+    _, events, _ = service.journal.load()
+    assert any(e["event"] == "fenced" for e in events)
+    assert service.jobs["a"].status == "cancelled"
+    assert not service.cancel("a")  # already terminal
+
+
+def test_cancel_of_unleased_job_replays_cleanly(tmp_path):
+    """A cancel carries no fencing token (it is scheduler-originated):
+    replay and verify must not mistake it for a stale worker write."""
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock)
+    service.submit(soak_spec(tmp_path))
+    assert service.cancel("a")
+    assert verify_journal(service.journal.path,
+                          require_terminal=True) == []
+    service.close()
+    reborn = make_service(tmp_path, clock=clock)
+    assert reborn.jobs["a"].status == "cancelled"
+
+
+# ----------------------------------------------------------------------
+# Crash recovery by journal replay
+# ----------------------------------------------------------------------
+def test_restart_replays_jobs_and_bumps_epoch(tmp_path):
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock)
+    service.submit(soak_spec(tmp_path, job_id="x"))
+    service.submit(soak_spec(tmp_path, job_id="y"))
+    ServiceWorker(service, "w1").run_next()  # x completes
+    service.close()
+
+    reborn = make_service(tmp_path, clock=clock)
+    assert reborn.epoch == service.epoch + 1
+    assert reborn.jobs["x"].status == "done"
+    assert reborn.jobs["y"].status == "pending"
+
+
+def test_stale_epoch_lease_reclaimed_immediately(tmp_path):
+    """A SIGKILLed scheduler's in-process worker died with it: the
+    restart reclaims its lease at once, no TTL wait."""
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock)
+    service.submit(soak_spec(tmp_path))
+    service.lease_next("w1")  # lease, then "SIGKILL" (just drop it)
+    service.close()
+
+    reborn = make_service(tmp_path, clock=clock)
+    assert reborn.jobs["a"].status == "leased"
+    reclaimed = reborn.tick()
+    assert reclaimed == ["a"]
+    assert reborn.jobs["a"].status == "pending"
+    _, events, _ = reborn.journal.load()
+    reclaim = [e for e in events if e["event"] == "reclaim"][-1]
+    assert reclaim["reason"] == "stale-epoch"
+
+
+def test_reclaimed_job_resumes_exactly_once_per_unit(tmp_path):
+    """The re-leased job resumes from its hash-chained checkpoint:
+    units graded before the crash are never re-executed."""
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock)
+    spec = soak_spec(tmp_path, n_units=5)
+    service.submit(spec)
+
+    # First attempt: grade 2 units, then die (run the campaign directly
+    # with max_units as the deterministic stand-in for a kill).
+    from repro.runtime.runner import CampaignRunner
+    from repro.runtime.service import service_job_fingerprint
+    state, lease = service.lease_next("w1")
+    CampaignRunner(checkpoint=spec.checkpoint).run(
+        service_job_units(spec),
+        fingerprint=service_job_fingerprint(spec), max_units=2)
+    service.close()
+
+    reborn = make_service(tmp_path, clock=clock)
+    reborn.tick()  # reclaims the stale-epoch lease
+    outcome = ServiceWorker(reborn, "w2").run_next()
+    assert outcome == "done"
+    counts = reborn.jobs["a"].summary["units"]
+    assert counts["ok"] == 5
+    assert counts["resumed"] == 2   # the pre-crash units
+    assert counts["executed"] == 3  # only the remainder ran again
+
+
+def test_torn_journal_tail_repaired_on_restart(tmp_path):
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock)
+    service.submit(soak_spec(tmp_path))
+    service.close()
+    with open(service.journal.path, "a", encoding="utf-8") as handle:
+        handle.write('{"event": "lease", "job": "a", "tok')  # torn
+
+    reborn = make_service(tmp_path, clock=clock)
+    assert reborn.jobs["a"].status == "pending"  # torn lease discarded
+    assert ServiceWorker(reborn, "w1").run_next() == "done"
+    assert verify_journal(reborn.journal.path,
+                          require_terminal=True) == []
+
+
+# ----------------------------------------------------------------------
+# Expiry, heartbeats, fencing
+# ----------------------------------------------------------------------
+def test_expired_lease_reclaimed_and_holder_fenced(tmp_path):
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock, lease_ttl=10.0)
+    service.submit(soak_spec(tmp_path))
+    state, lease = service.lease_next("w1")
+    clock.advance(11.0)
+    assert service.tick() == ["a"]
+    # The zombie holder's writes are fenced off, not applied.
+    assert service.heartbeat("a", lease.token) is False
+    assert service.complete("a", lease.token, {}) is False
+    assert service.jobs["a"].status == "pending"
+    assert service.jobs["a"].reclaims == 1
+
+
+def test_heartbeat_renews_and_journals(tmp_path):
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock, lease_ttl=10.0)
+    service.submit(soak_spec(tmp_path))
+    _, lease = service.lease_next("w1")
+    clock.advance(8.0)
+    assert service.heartbeat("a", lease.token) is True
+    clock.advance(8.0)  # only in-budget because the renewal landed
+    assert service.heartbeat("a", lease.token) is True
+    _, events, _ = service.journal.load()
+    assert sum(1 for e in events if e["event"] == "renew") == 2
+
+
+def test_expired_but_unreclaimed_lease_refuses_renewal(tmp_path):
+    """Past the deadline the holder must assume it lost ownership —
+    the scheduler may already have re-leased elsewhere."""
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock, lease_ttl=10.0)
+    service.submit(soak_spec(tmp_path))
+    _, lease = service.lease_next("w1")
+    clock.advance(11.0)
+    assert service.heartbeat("a", lease.token) is False
+
+
+# ----------------------------------------------------------------------
+# Retry, backoff, poison-job quarantine
+# ----------------------------------------------------------------------
+@pytest.fixture
+def flaky_kind():
+    calls = {"n": 0}
+
+    @job_kind("flaky-test")
+    def run(spec, heartbeat):
+        calls["n"] += 1
+        if calls["n"] <= int(spec.params.get("failures", 1)):
+            raise ValueError(f"boom {calls['n']}")
+        return {"units": {"ok": 0}, "digest": "", "interrupted": False}
+
+    yield calls
+    del JOB_KINDS["flaky-test"]
+
+
+def test_failed_attempt_retries_with_backoff(tmp_path, flaky_kind):
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock, backoff_base=4.0)
+    service.submit(JobSpec(job_id="f", kind="flaky-test",
+                           params={"failures": 1}))
+    worker = ServiceWorker(service, "w1")
+    assert worker.run_next() == "failed"
+    state = service.jobs["f"]
+    assert state.status == "pending"
+    assert state.failures == 1
+    assert "boom 1" in state.error
+    # Backoff gates the re-lease until retry_at passes.
+    assert service.lease_next("w1") is None
+    clock.advance(4.5)
+    assert worker.run_next() == "done"
+    assert state.status == "done"
+
+
+def test_poison_job_quarantined_after_budget(tmp_path, flaky_kind):
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock, max_job_retries=2,
+                           backoff_base=1.0)
+    service.submit(JobSpec(job_id="f", kind="flaky-test",
+                           params={"failures": 99}))
+    worker = ServiceWorker(service, "w1")
+    outcomes = []
+    for _ in range(3):
+        outcomes.append(worker.run_next())
+        clock.advance(10.0)
+    assert outcomes == ["failed", "failed", "failed"]
+    state = service.jobs["f"]
+    assert state.status == "quarantined"
+    assert state.failures == 3
+    assert worker.run_next() is None  # never leased again
+    _, events, _ = service.journal.load()
+    final = [e for e in events if e["event"] == "fail"][-1]
+    assert final["final"] is True
+
+
+def test_reclaims_do_not_consume_the_retry_budget(tmp_path):
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock, lease_ttl=5.0,
+                           max_job_retries=0)
+    service.submit(soak_spec(tmp_path))
+    for _ in range(4):  # repeated infrastructure losses
+        service.lease_next("w1")
+        clock.advance(6.0)
+        assert service.tick() == ["a"]
+    state = service.jobs["a"]
+    assert state.reclaims == 4
+    assert state.failures == 0
+    assert state.status == "pending"  # still healthy, still runnable
+
+
+# ----------------------------------------------------------------------
+# Drain
+# ----------------------------------------------------------------------
+def test_drain_releases_in_flight_job_and_resumes_later(tmp_path):
+    clock = Clock()
+    service = make_service(tmp_path, clock=clock)
+    service.submit(soak_spec(tmp_path, n_units=6))
+
+    # Ask for drain from "outside" after the second unit completes.
+    units = {"done": 0}
+    original = JOB_KINDS["soak"]
+
+    def draining_soak(spec, heartbeat):
+        def counting_heartbeat():
+            units["done"] += 1
+            if units["done"] == 2:
+                service.request_drain()
+            return heartbeat()
+        return original(spec, counting_heartbeat)
+
+    JOB_KINDS["soak"] = draining_soak
+    try:
+        outcome = serve_until_drained(service, sleep=lambda s: None)
+    finally:
+        JOB_KINDS["soak"] = original
+    assert outcome == "drained"
+    state = service.jobs["a"]
+    assert state.status == "pending"  # released, not failed
+    assert state.failures == 0
+    service.close()
+
+    reborn = make_service(tmp_path, clock=clock)
+    reborn.tick()
+    assert ServiceWorker(reborn, "w2").run_next() == "done"
+    counts = reborn.jobs["a"].summary["units"]
+    assert counts["ok"] == 6
+    assert counts["resumed"] >= 2  # pre-drain progress survived
+
+
+def test_serve_until_drained_idle_exit(tmp_path):
+    service = make_service(tmp_path)
+    service.submit(soak_spec(tmp_path, n_units=2))
+    assert serve_until_drained(service, sleep=lambda s: None) == "idle"
+    assert service.all_terminal()
+
+
+# ----------------------------------------------------------------------
+# Spool ingest
+# ----------------------------------------------------------------------
+def test_spool_ingest_and_status(tmp_path):
+    service = make_service(tmp_path)
+    journal = JobJournal(service.journal.path)
+    journal.spool_request(
+        {"op": "submit",
+         "spec": soak_spec(tmp_path, job_id="sp").to_json()},
+        name="sp.json")
+    assert service.ingest_spool() == 1
+    assert "sp" in service.jobs
+    assert journal.spooled_requests() == []  # consumed
+    # At-least-once replay of the same request is harmless.
+    journal.spool_request(
+        {"op": "submit",
+         "spec": soak_spec(tmp_path, job_id="sp").to_json()},
+        name="sp.json")
+    service.ingest_spool()
+    _, events, _ = service.journal.load()
+    assert sum(1 for e in events if e["event"] == "submit") == 1
+
+
+def test_status_includes_spooled_jobs(tmp_path):
+    service = make_service(tmp_path)
+    service.submit(soak_spec(tmp_path, job_id="live"))
+    service.journal.spool_request(
+        {"op": "submit",
+         "spec": soak_spec(tmp_path, job_id="queued").to_json()},
+        name="queued.json")
+    rows = {r["job"]: r for r in journal_status(service.journal.path)}
+    assert rows["live"]["status"] == "pending"
+    assert rows["queued"]["status"] == "spooled"
+
+
+def test_malformed_spool_request_dropped(tmp_path):
+    service = make_service(tmp_path)
+    service.journal.spool_request(
+        {"op": "submit", "spec": {"no_job_id": True}}, name="bad.json")
+    assert service.ingest_spool() == 0
+    assert service.journal.spooled_requests() == []  # consumed anyway
+
+
+# ----------------------------------------------------------------------
+# The invariant checker on forged journals
+# ----------------------------------------------------------------------
+def forge(tmp_path, events):
+    journal = JobJournal(str(tmp_path / "forged.jsonl"))
+    journal.create({})
+    for event in events:
+        journal.append(dict(event))
+    journal.close()
+    return journal.path
+
+
+SPEC = {"job_id": "a", "kind": "soak", "seed": 1, "n_units": 1,
+        "checkpoint": None, "params": {}}
+LEASE = {"event": "lease", "job": "a", "worker": "w", "token": 1,
+         "epoch": 1, "granted": 0.0, "expires": 30.0}
+
+
+def test_verify_flags_double_lease(tmp_path):
+    path = forge(tmp_path, [
+        {"event": "submit", "job": "a", "spec": SPEC},
+        LEASE,
+        {**LEASE, "token": 2, "worker": "thief"},
+    ])
+    kinds = [v.kind for v in verify_journal(path)]
+    assert "double-lease" in kinds
+
+
+def test_verify_flags_token_reuse(tmp_path):
+    path = forge(tmp_path, [
+        {"event": "submit", "job": "a", "spec": SPEC},
+        LEASE,
+        {"event": "release", "job": "a", "token": 1},
+        LEASE,  # token 1 again: fencing is broken
+    ])
+    kinds = [v.kind for v in verify_journal(path)]
+    assert "token-reuse" in kinds
+
+
+def test_verify_flags_resurrected_terminal_job(tmp_path):
+    path = forge(tmp_path, [
+        {"event": "submit", "job": "a", "spec": SPEC},
+        LEASE,
+        {"event": "complete", "job": "a", "token": 1, "summary": {}},
+        {**LEASE, "token": 2},  # re-leased after terminal: forbidden
+    ])
+    kinds = [v.kind for v in verify_journal(path)]
+    assert "resurrected-terminal" in kinds
+
+
+def test_verify_flags_fencing_a_live_lease(tmp_path):
+    path = forge(tmp_path, [
+        {"event": "submit", "job": "a", "spec": SPEC},
+        LEASE,  # expires at 30.0
+        {"event": "fenced", "job": "a", "token": 1, "op": "complete",
+         "time": 5.0},  # fenced while live: the fence itself lied
+    ])
+    kinds = [v.kind for v in verify_journal(path)]
+    assert "fenced-current" in kinds
+
+
+def test_fencing_an_expired_current_lease_is_legal(tmp_path):
+    """A zombie worker outrunning its TTL quotes the *current* token,
+    and the fence correctly rejects it — that is not a violation."""
+    path = forge(tmp_path, [
+        {"event": "submit", "job": "a", "spec": SPEC},
+        LEASE,  # expires at 30.0
+        {"event": "fenced", "job": "a", "token": 1, "op": "renew",
+         "time": 31.0},
+        {"event": "reclaim", "job": "a", "token": 1,
+         "reason": "expired", "time": 32.0},
+    ])
+    assert verify_journal(path) == []
+
+
+def test_verify_flags_unfenced_stale_write(tmp_path):
+    path = forge(tmp_path, [
+        {"event": "submit", "job": "a", "spec": SPEC},
+        LEASE,
+        {"event": "complete", "job": "a", "token": 99, "summary": {}},
+    ])
+    kinds = [v.kind for v in verify_journal(path)]
+    assert "stale-write" in kinds
+
+
+def test_verify_flags_unknown_job_and_double_submit(tmp_path):
+    path = forge(tmp_path, [
+        {"event": "submit", "job": "a", "spec": SPEC},
+        {"event": "submit", "job": "a", "spec": SPEC},
+        {"event": "renew", "job": "ghost", "token": 1},
+    ])
+    kinds = [v.kind for v in verify_journal(path)]
+    assert "double-submit" in kinds
+    assert "unknown-job" in kinds
+
+
+def test_verify_require_terminal(tmp_path):
+    path = forge(tmp_path, [
+        {"event": "submit", "job": "a", "spec": SPEC},
+    ])
+    assert verify_journal(path) == []
+    kinds = [v.kind for v in verify_journal(path, require_terminal=True)]
+    assert kinds == ["non-terminal"]
+
+
+def test_verify_flags_interior_corruption(tmp_path):
+    path = forge(tmp_path, [
+        {"event": "submit", "job": "a", "spec": SPEC},
+        {"event": "drain"},
+    ])
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.replace('"job": "a"', '"job": "b"'))
+    kinds = [v.kind for v in verify_journal(path)]
+    assert "journal-interior-defect" in kinds
+
+
+def test_check_journal_raises_integrity_error(tmp_path):
+    path = forge(tmp_path, [
+        {"event": "submit", "job": "a", "spec": SPEC},
+        LEASE,
+        {**LEASE, "token": 2},
+    ])
+    with pytest.raises(IntegrityError, match="double-lease"):
+        check_journal(path)
+
+
+def test_scheduler_refuses_to_replay_a_forged_journal(tmp_path):
+    """Strict recovery: running on top of a journal that violates the
+    service invariants risks double-grading — fail loudly instead."""
+    path = forge(tmp_path, [
+        {"event": "submit", "job": "a", "spec": SPEC},
+        LEASE,
+        {**LEASE, "token": 2},
+    ])
+    with pytest.raises(CampaignError, match="violation"):
+        SchedulerService(path, ServiceConfig(), clock=Clock())
+
+
+# ----------------------------------------------------------------------
+# The service soak (small, deterministic)
+# ----------------------------------------------------------------------
+def test_service_soak_small_converges_clean(tmp_path):
+    report = run_service_soak(seed=11, campaigns=3, n_units=4,
+                              scratch=str(tmp_path / "scratch"))
+    assert report.ok(), [v.describe() for v in report.violations]
+    assert report.n_jobs == 3
+    assert report.n_disruptions > 0       # chaos actually happened
+    assert sum(report.injections.values()) > 0
+
+
+def test_service_soak_is_deterministic(tmp_path):
+    a = run_service_soak(seed=23, campaigns=2, n_units=3,
+                         scratch=str(tmp_path / "a"))
+    b = run_service_soak(seed=23, campaigns=2, n_units=3,
+                         scratch=str(tmp_path / "b"))
+    assert a.to_json() == b.to_json()

@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Interpreted-vs-batched fault-simulation bench → ``BENCH_faultsim.json``.
+
+Times the two ``CombFaultSimulator`` engines on the paper core's
+heaviest components across the workload shapes E1 actually runs:
+
+* **sustained grading** — every fault graded over many pattern blocks
+  (the E1 inner loop at scale; compiled cone kernels amortise and the
+  batched engine wins several-fold);
+* **fault dropping** — one ``run_with_dropping`` pass where most
+  faults detect within a block or two (adaptive compilation keeps the
+  batched engine at interpreted speed instead of paying compile time
+  for kernels that would run once);
+* **hierarchical E1 sample** — the mixed-level core simulator end to
+  end on a template program, both engines.
+
+Engines are bit-for-bit identical (``tests/test_faults_batched.py``
+enforces it); this artefact records what the speed difference actually
+measured on the machine that wrote it.  Workload sizes follow
+``REPRO_SCALE``.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_faultsim.py
+    PYTHONPATH=src REPRO_SCALE=quick python benchmarks/bench_faultsim.py \
+        --assert-speedup 3
+
+``--assert-speedup N`` exits nonzero unless the aggregate sustained-
+grading speedup (total interpreted wall / total batched wall) is at
+least ``N`` — the CI gate that keeps the engine's headline honest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+
+from repro.faults.combsim import CombFaultSimulator
+from repro.harness.experiments import scaled
+from repro.harness.perf import (
+    FAULTSIM_BENCH_FILENAME, PerfTrajectory, cache_delta,
+)
+from repro.runtime.cache import cache_stats, clear_caches
+
+#: Components for the combinational workloads, heaviest first.
+COMPONENTS = ("multiplier", "shifter", "addsub")
+
+#: Patterns packed per word (the batched engine's default width).
+BLOCK_WIDTH = 128
+
+
+def pattern_blocks(netlist, seed, n_blocks, width):
+    """Seeded random stimulus blocks over the netlist's input buses."""
+    rng = random.Random(("bench_faultsim", seed).__repr__())
+    in_nets = set(netlist.inputs)
+    buses = {name: nets for name, nets in netlist.buses.items()
+             if nets and all(n in in_nets for n in nets)}
+    return [{name: [rng.getrandbits(len(nets)) for _ in range(width)]
+             for name, nets in buses.items()} for _ in range(n_blocks)]
+
+
+def measure(trajectory, experiment, engine, units, run):
+    """Time ``run()`` from cold caches and record one sample.
+
+    Interpreted is recorded first per experiment, so
+    :meth:`PerfTrajectory.finish` fills the batched sample's
+    ``speedup_vs_serial`` against it.
+    """
+    clear_caches()
+    before = cache_stats()
+    start = time.perf_counter()
+    run()
+    elapsed = time.perf_counter() - start
+    sample = trajectory.record(
+        experiment=experiment, label=engine, jobs=1, units=units,
+        wall_seconds=round(elapsed, 4),
+        cache=cache_delta(before, cache_stats()), engine=engine,
+    )
+    print(f"  {experiment:<22} {engine:<12} {elapsed:8.3f}s  "
+          f"{sample.units_per_second:10.0f} units/s")
+    return sample
+
+
+def bench_combinational(trajectory, n_blocks):
+    from repro.dsp.components import component_by_name
+    for name in COMPONENTS:
+        netlist = component_by_name(name).netlist()
+        blocks = pattern_blocks(netlist, name, n_blocks, BLOCK_WIDTH)
+        for engine in ("interpreted", "batched"):
+            sim = CombFaultSimulator(netlist, engine=engine,
+                                     block_width=BLOCK_WIDTH)
+            n_faults = len(sim.fault_list.faults)
+            measure(
+                trajectory, f"sustained:{name}", engine,
+                n_faults * n_blocks,
+                lambda s=sim: [s.detect(b) for b in blocks],
+            )
+        for engine in ("interpreted", "batched"):
+            sim = CombFaultSimulator(netlist, engine=engine,
+                                     block_width=BLOCK_WIDTH)
+            measure(
+                trajectory, f"dropping:{name}", engine,
+                len(sim.fault_list.faults),
+                lambda s=sim: s.run_with_dropping(blocks),
+            )
+
+
+def bench_hierarchical(trajectory, iterations):
+    from repro.bist.template import RandomLoad, TemplateArchitecture
+    from repro.dsp.isa import Instruction, Opcode
+    from repro.faults.hierarchical import HierarchicalFaultSimulator
+
+    words = TemplateArchitecture([
+        RandomLoad(0), RandomLoad(1),
+        Instruction(Opcode.MPYA, rega=0, regb=1, dest=2),
+        Instruction(Opcode.OUT, regb=2),
+        Instruction(Opcode.MACB_ADD, rega=0, regb=1, dest=3),
+        Instruction(Opcode.OUT, regb=3),
+        Instruction(Opcode.OUTA), Instruction(Opcode.OUTB),
+    ]).expand(iterations)
+    for engine in ("interpreted", "batched"):
+        sim = HierarchicalFaultSimulator(engine=engine)
+        units = len(sim.universe.all_faults())
+        measure(trajectory, "e1_hierarchical", engine, units,
+                lambda s=sim: s.run(words))
+
+
+def sustained_speedup(trajectory):
+    """Aggregate sustained-grading speedup: Σ interpreted / Σ batched."""
+    walls = {"interpreted": 0.0, "batched": 0.0}
+    for sample in trajectory.samples:
+        if sample.experiment.startswith("sustained:"):
+            walls[sample.label] += sample.wall_seconds
+    return walls["interpreted"] / walls["batched"] if walls["batched"] else 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=FAULTSIM_BENCH_FILENAME,
+                        help=f"artefact path "
+                             f"(default {FAULTSIM_BENCH_FILENAME})")
+    parser.add_argument("--assert-speedup", type=float, default=None,
+                        metavar="N",
+                        help="exit nonzero unless the aggregate sustained "
+                             "speedup is at least N")
+    parser.add_argument("--skip-hierarchical", action="store_true",
+                        help="combinational workloads only")
+    args = parser.parse_args(argv)
+
+    trajectory = PerfTrajectory(schema="repro.bench_faultsim/1")
+    n_blocks = scaled(48, 96, 384)
+    print(f"combinational grading: {n_blocks} blocks x {BLOCK_WIDTH} "
+          f"patterns per component")
+    bench_combinational(trajectory, n_blocks)
+    if not args.skip_hierarchical:
+        iterations = scaled(20, 60, 6000)
+        print(f"hierarchical E1 sample: {iterations} template iterations")
+        bench_hierarchical(trajectory, iterations)
+
+    path = trajectory.write(args.output)
+    for sample in trajectory.samples:
+        if sample.speedup_vs_serial is not None:
+            print(f"{sample.experiment}: batched "
+                  f"{sample.speedup_vs_serial:.2f}x vs interpreted")
+    aggregate = sustained_speedup(trajectory)
+    print(f"aggregate sustained speedup: {aggregate:.2f}x")
+    print(f"wrote {path}")
+    if args.assert_speedup is not None and aggregate < args.assert_speedup:
+        print(f"FAIL: aggregate sustained speedup {aggregate:.2f}x is "
+              f"below the required {args.assert_speedup:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -118,6 +118,7 @@ def _cmd_grade(args) -> int:
             checkpoint=args.checkpoint,
             unit_timeout=args.unit_timeout,
             jobs=args.jobs,
+            engine=args.engine,
         )
         outcome = campaign.run(resume=args.resume, max_units=args.max_units,
                                force=args.force)
@@ -208,7 +209,8 @@ def _cmd_profile(args) -> int:
     try:
         selftest = _build_selftest(args)
         words = expand_program(selftest.program, args.iterations)
-        campaign = HierarchicalCampaign(words, jobs=args.jobs)
+        campaign = HierarchicalCampaign(words, jobs=args.jobs,
+                                        engine=args.engine)
         campaign.run()
         rows = [
             (name, calls, f"{seconds:.3f}", f"{mean_ms:.2f}")
@@ -531,6 +533,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=100)
     p.add_argument("--good", type=int, default=6)
     p.add_argument("--iterations", type=int, default=100)
+    p.add_argument("--engine", choices=("interpreted", "batched"),
+                   default="interpreted",
+                   help="component fault-propagation engine: the "
+                        "interpreted per-gate walk, or batched compiled "
+                        "cone kernels (bit-identical grades, several "
+                        "times faster; default interpreted)")
     add_table_options(p)
     add_campaign_options(p)
     add_trace_options(p)
@@ -563,6 +571,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=2)
     p.add_argument("--jobs", metavar="N",
                    help="worker processes (integer or 'auto')")
+    p.add_argument("--engine", choices=("interpreted", "batched"),
+                   default="interpreted",
+                   help="component fault-propagation engine to profile")
     add_table_options(p)
     p.set_defaults(func=_cmd_profile)
 

@@ -110,9 +110,12 @@ class DspFaultUniverse:
     """The complete stuck-at fault population of the DSP core."""
 
     def __init__(self, components: Optional[Iterable[str]] = None,
-                 include_regfile: bool = True):
+                 include_regfile: bool = True,
+                 engine: str = "interpreted",
+                 block_width: Optional[int] = None):
         names = list(components) if components is not None else \
             [spec.name for spec in COMPONENTS]
+        self.engine = engine
         self.comb_faults: Dict[str, List[Fault]] = {}
         self.comb_simulators: Dict[str, CombFaultSimulator] = {}
         self.storage_faults: List[StorageFault] = []
@@ -134,7 +137,8 @@ class DspFaultUniverse:
                             if f.net not in pi_nets]
                 self.comb_faults[name] = internal
                 self.comb_simulators[name] = CombFaultSimulator(
-                    netlist, fault_list
+                    netlist, fault_list, engine=engine,
+                    block_width=block_width,
                 )
             else:
                 self.storage_faults.extend(_register_faults(spec))
@@ -366,8 +370,13 @@ class HierarchicalFaultSimulator:
         propagation_window: int = 48,
         max_starts_per_block: int = 8,
         max_continuous_starts: int = 2,
+        engine: str = "interpreted",
     ):
-        self.universe = universe if universe is not None else DspFaultUniverse()
+        # ``engine`` selects the component-level fault-propagation
+        # engine when the default universe is built here; an explicit
+        # universe carries its own engine choice.
+        self.universe = universe if universe is not None \
+            else DspFaultUniverse(engine=engine)
         if block_size % checkpoint_every:
             raise ConfigError(
                 "block_size must be a multiple of checkpoint_every"

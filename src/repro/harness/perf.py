@@ -51,6 +51,10 @@ from typing import Dict, List, Optional
 #: Default artefact filename (repo root / CI artifact name).
 BENCH_FILENAME = "BENCH_campaigns.json"
 
+#: Fault-simulation engine bench artefact (committed to the repo so the
+#: batched engine's speedup is a recorded, reviewable number).
+FAULTSIM_BENCH_FILENAME = "BENCH_faultsim.json"
+
 
 @dataclass
 class CampaignPerf:
@@ -72,9 +76,16 @@ class CampaignPerf:
 
 
 class PerfTrajectory:
-    """Collects :class:`CampaignPerf` samples and writes the artefact."""
+    """Collects :class:`CampaignPerf` samples and writes the artefact.
 
-    def __init__(self):
+    ``schema`` names the document flavour — the campaign sweep and the
+    fault-simulation engine bench share the sample shape but are
+    separate artefacts (``BENCH_campaigns.json`` vs
+    ``BENCH_faultsim.json``).
+    """
+
+    def __init__(self, schema: str = "repro.bench_campaigns/1"):
+        self.schema = schema
         self.samples: List[CampaignPerf] = []
 
     def add(self, sample: CampaignPerf) -> CampaignPerf:
@@ -109,7 +120,7 @@ class PerfTrajectory:
         from repro.harness.experiments import current_scale
         self.finish()
         return {
-            "schema": "repro.bench_campaigns/1",
+            "schema": self.schema,
             "context": {
                 "cpu_count": os.cpu_count(),
                 "python": platform.python_version(),
@@ -120,7 +131,7 @@ class PerfTrajectory:
         }
 
     def write(self, path: str = BENCH_FILENAME) -> str:
-        """Write ``BENCH_campaigns.json`` (no-op when nothing measured)."""
+        """Write the bench artefact (no-op when nothing measured)."""
         if not self.samples:
             return path
         with open(path, "w", encoding="utf-8") as handle:
@@ -136,8 +147,9 @@ def cache_delta(before: Dict[str, float],
     The module-level counters are cumulative across a session; the
     delta is what one measured run actually hit and missed.
     """
+    from repro.runtime.cache import CACHE_KINDS
     delta: Dict[str, float] = {}
-    for kind in ("compile", "trace"):
+    for kind in CACHE_KINDS:
         hits = after[f"{kind}_hits"] - before[f"{kind}_hits"]
         misses = after[f"{kind}_misses"] - before[f"{kind}_misses"]
         total = hits + misses

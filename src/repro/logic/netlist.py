@@ -100,7 +100,25 @@ class Netlist:
         #: builder's ``region`` context; used for per-component analyses
         #: of flat assemblies).
         self.net_regions: Dict[int, str] = {}
-        self._topo_cache: Optional[List[Gate]] = None
+        self._topo: Optional[List[Gate]] = None
+        self._fanout: Optional[Dict[int, List[int]]] = None
+        self._topo_pos: Optional[List[int]] = None
+
+    @property
+    def _topo_cache(self) -> Optional[List[Gate]]:
+        return self._topo
+
+    @_topo_cache.setter
+    def _topo_cache(self, value: Optional[List[Gate]]) -> None:
+        # Invalidating the topological order (structural mutation) must
+        # also drop the derived fanout map and topo-position caches;
+        # routing the write through a setter keeps callers that assign
+        # ``_topo_cache = None`` directly (artifact loading, tests)
+        # correct.
+        self._topo = value
+        if value is None:
+            self._fanout = None
+            self._topo_pos = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -226,27 +244,43 @@ class Netlist:
         return order
 
     def fanout_map(self) -> Dict[int, List[int]]:
-        """Map net id → indices of gates that read it."""
-        fanout: Dict[int, List[int]] = {}
-        for idx, gate in enumerate(self.gates):
-            for n in gate.inputs:
-                fanout.setdefault(n, []).append(idx)
-        return fanout
+        """Map net id → indices of gates that read it (cached until the
+        next structural mutation)."""
+        if self._fanout is None:
+            fanout: Dict[int, List[int]] = {}
+            for idx, gate in enumerate(self.gates):
+                for n in gate.inputs:
+                    fanout.setdefault(n, []).append(idx)
+            self._fanout = fanout
+        return self._fanout
+
+    def _topo_positions(self) -> List[int]:
+        """Gate-list index → position in topological order (cached)."""
+        if self._topo_pos is None:
+            by_id = {id(g): p for p, g in enumerate(self.levelize())}
+            self._topo_pos = [by_id[id(g)] for g in self.gates]
+        return self._topo_pos
 
     def transitive_fanout_gates(self, net: int) -> List[Gate]:
         """Gates in the transitive fanout of ``net``, in topological order.
 
         The cone stops at DFF D inputs (state boundaries); used by the
         combinational fault simulator for per-fault cone re-evaluation.
+        A worklist closure over the cached fanout map, so the cost
+        scales with the cone, not the netlist — fault simulation builds
+        one cone per fault site, which at whole-netlist scan cost was
+        quadratic per netlist.
         """
         fanout = self.fanout_map()
-        tainted = {net}
-        cone: List[Gate] = []
-        for gate in self.levelize():
-            if any(i in tainted for i in gate.inputs):
-                tainted.add(gate.output)
-                cone.append(gate)
-        return cone
+        seen = set()
+        work = list(fanout.get(net, ()))
+        while work:
+            idx = work.pop()
+            if idx not in seen:
+                seen.add(idx)
+                work.extend(fanout.get(self.gates[idx].output, ()))
+        pos = self._topo_positions()
+        return [self.gates[i] for i in sorted(seen, key=pos.__getitem__)]
 
     def validate(self) -> None:
         """Check structural sanity.

@@ -10,6 +10,8 @@ Commands cover the everyday flows:
 * ``constraints`` — the Phase 3 control-bit constraint study (§3.4);
 * ``lint`` — static analysis of netlists, self-test programs and
   campaign configurations (see :mod:`repro.lint`);
+* ``testability`` — SCOAP/COP static testability report over the core
+  and component netlists (see :mod:`repro.analysis.testability`);
 * ``chaos`` — seeded fault-injection soak of the campaign runtime
   itself (see :mod:`repro.runtime.chaos`);
 * ``serve`` / ``submit`` / ``status`` / ``cancel`` — the crash-safe
@@ -450,6 +452,87 @@ def _cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def _cmd_testability(args) -> int:
+    import json as _json
+    from repro import obs
+    from repro.analysis import analyze_testability, summarize_testability
+    from repro.analysis.testability import DEFAULT_DETECT_FLOOR, DEFAULT_SEQ_COST
+    from repro.dsp.components import COMPONENTS
+    from repro.dsp.gatelevel import make_gatelevel_core
+    from repro.faults.model import collapse_faults
+    from repro.harness.reporting import format_table
+    from repro.runtime.errors import ConfigError
+
+    floor = args.floor if args.floor is not None else DEFAULT_DETECT_FLOOR
+    seq_cost = args.seq_cost if args.seq_cost is not None \
+        else DEFAULT_SEQ_COST
+    if floor <= 0.0:
+        raise ConfigError(f"--floor must be a positive probability, "
+                          f"got {floor}")
+    if seq_cost < 0.0:
+        raise ConfigError(f"--seq-cost must be non-negative, got {seq_cost}")
+    session = obs.configure(trace=False, metrics=True, profile=True,
+                            seed=2004) if args.profile else None
+    try:
+        targets = []
+        if args.target in ("components", "all"):
+            targets.extend(
+                (spec.name, spec.factory) for spec in COMPONENTS
+                if spec.factory is not None
+            )
+        if args.target in ("core", "all"):
+            targets.append(("core", make_gatelevel_core))
+        summaries = []
+        for name, factory in targets:
+            netlist = factory()
+            analysis = analyze_testability(netlist, seq_cost=seq_cost)
+            faults = collapse_faults(netlist).faults
+            summaries.append(summarize_testability(
+                name, netlist, faults, analysis=analysis, floor=floor))
+        headers = ("component", "faults", "maxCC", "medCC", "maxCO",
+                   "medCO", "med p(det)", "min p(det)", "<floor",
+                   "unbounded")
+        print(format_table(headers, [s.to_row() for s in summaries]))
+        predicted = sum(s.n_below_floor for s in summaries)
+        untestable = sum(s.n_unbounded for s in summaries)
+        print(f"{len(summaries)} netlists: {predicted} predicted "
+              f"random-resistant fault site(s) below floor {floor:.0e}, "
+              f"{untestable} statically untestable candidate(s)")
+        if args.json:
+            counters = {}
+            if session is not None and session.registry is not None:
+                counters = {
+                    k: v for k, v in
+                    session.registry.snapshot()["counters"].items()
+                    if k.startswith("analysis.testability.")
+                }
+            doc = {
+                "schema": "repro.testability/1",
+                "floor": floor,
+                "seq_cost": seq_cost,
+                "components": [s.to_json() for s in summaries],
+                "counters": counters,
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                _json.dump(doc, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote testability report to {args.json}")
+        if session is not None:
+            rows = [
+                (name, calls, f"{seconds:.3f}", f"{mean_ms:.2f}")
+                for name, calls, seconds, mean_ms in
+                session.profiler.rows()
+                if name.startswith("analysis.")
+            ]
+            if rows:
+                print(format_table(
+                    ("section", "calls", "seconds", "mean ms"), rows))
+        return 0
+    finally:
+        if session is not None:
+            obs.disable()
+
+
 def _cmd_export_verilog(args) -> int:
     from repro.dsp.gatelevel import make_gatelevel_core
     from repro.logic.export import to_verilog
@@ -720,6 +803,27 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.lint.cli import add_lint_arguments
     add_lint_arguments(p)
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("testability",
+                       help="static SCOAP/COP testability report over "
+                            "the core and component netlists")
+    p.add_argument("--target", choices=("core", "components", "all"),
+                   default="all",
+                   help="netlists to analyze (default all)")
+    p.add_argument("--floor", type=float, default=None, metavar="P",
+                   help="COP detection-probability floor below which a "
+                        "fault site counts as predicted random-"
+                        "resistant (default 1e-8, the NET010 floor)")
+    p.add_argument("--seq-cost", type=float, default=None, metavar="N",
+                   help="SCOAP cost of crossing one flip-flop boundary "
+                        "(default 10)")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the per-component JSON report")
+    p.add_argument("--profile", action="store_true",
+                   help="print analysis.* profiler sections and emit "
+                        "analysis.testability.* counters in the JSON "
+                        "report")
+    p.set_defaults(func=_cmd_testability)
 
     p = sub.add_parser("export-verilog",
                        help="write the flat core as structural Verilog")

@@ -18,11 +18,14 @@ Multiple fault sites with individual polarities are supported so one
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.faults.model import Fault
 from repro.logic.gates import GateType
 from repro.logic.netlist import Gate, Netlist
+
+if TYPE_CHECKING:
+    from repro.analysis.testability import TestabilityAnalysis
 
 X = None  # unknown
 
@@ -56,12 +59,14 @@ def _eval3_scalar(kind: GateType, values: List[Optional[int]]) -> Optional[int]:
             return X
         return out ^ 1 if kind is GateType.NOR else out
     if kind is GateType.XOR or kind is GateType.XNOR:
-        if any(v is X for v in values):
+        a, b = values[0], values[1]
+        if a is None or b is None:
             return X
-        out = values[0] ^ values[1]
+        out = a ^ b
         return out ^ 1 if kind is GateType.XNOR else out
     if kind is GateType.NOT:
-        return X if values[0] is X else values[0] ^ 1
+        v = values[0]
+        return X if v is None else v ^ 1
     if kind is GateType.BUF:
         return values[0]
     if kind is GateType.CONST0:
@@ -73,12 +78,18 @@ def _eval3_scalar(kind: GateType, values: List[Optional[int]]) -> Optional[int]:
 
 @dataclass
 class PodemResult:
-    """Outcome of one PODEM run."""
+    """Outcome of one PODEM run.
+
+    ``backtracks`` counts decision reversals and ``decisions`` counts PI
+    assignments tried; together they make guided-vs-unguided search
+    effort measurable (E5 benchmark registry) instead of anecdotal.
+    """
 
     fault_sites: Tuple[Fault, ...]
     pattern: Optional[Dict[int, int]]  # PI net -> value (when detected)
     status: str                        # "detected" | "untestable" | "aborted"
     backtracks: int
+    decisions: int = 0
 
     @property
     def detected(self) -> bool:
@@ -106,7 +117,8 @@ class _Machines:
 
     __slots__ = ("is1", "is0", "overlay")
 
-    def __init__(self, is1, is0, overlay):
+    def __init__(self, is1: Sequence[int], is0: Sequence[int],
+                 overlay: Dict[int, Optional[int]]):
         self.is1 = is1
         self.is0 = is0
         self.overlay = overlay  # net -> faulty value in {0, 1, None}
@@ -125,9 +137,22 @@ class _Machines:
 
 
 class Podem:
-    """PODEM test generation for stuck-at faults on a combinational netlist."""
+    """PODEM test generation for stuck-at faults on a combinational netlist.
 
-    def __init__(self, netlist: Netlist, backtrack_limit: int = 2000):
+    With ``guided=True`` the objective and backtrace choices are steered
+    by a static SCOAP cost model (:mod:`repro.analysis.testability`):
+    excitation targets the cheapest-to-justify site, propagation picks
+    the D-frontier gate closest to an output (min CO) and justification
+    walks through the easiest input when one controlling value suffices
+    — or the *hardest* input first when every input is needed, so doomed
+    branches fail fast.  ``analysis`` supplies a precomputed model
+    (otherwise one is derived from the netlist); unguided behaviour is
+    bit-identical to the classic first-X heuristics.
+    """
+
+    def __init__(self, netlist: Netlist, backtrack_limit: int = 2000,
+                 guided: bool = False,
+                 analysis: Optional["TestabilityAnalysis"] = None):
         if netlist.dffs:
             raise ValueError(
                 "PODEM needs a combinational netlist; unroll sequential "
@@ -143,6 +168,11 @@ class Podem:
         }
         self._pi_set = set(netlist.inputs)
         self._po_set = set(netlist.outputs)
+        self.guided = guided
+        if guided and analysis is None:
+            from repro.analysis.testability import analyze_testability
+            analysis = analyze_testability(netlist)
+        self.analysis = analysis if guided else None
 
     # ------------------------------------------------------------------
     def generate(self, fault: Fault) -> PodemResult:
@@ -159,6 +189,7 @@ class Podem:
         assignments: Dict[int, int] = {}
         decisions: List[Tuple[int, int, bool]] = []
         backtracks = 0
+        n_decisions = 0
 
         machines = self._imply(assignments, sites, cone)
         while True:
@@ -168,6 +199,7 @@ class Podem:
                     pattern=dict(assignments),
                     status="detected",
                     backtracks=backtracks,
+                    decisions=n_decisions,
                 )
             objective = self._objective(machines, sites, cone)
             pi: Optional[Tuple[int, int]] = None
@@ -182,22 +214,24 @@ class Podem:
                         backtracks += 1
                         if backtracks > self.backtrack_limit:
                             return PodemResult(tuple(faults), None,
-                                               "aborted", backtracks)
+                                               "aborted", backtracks,
+                                               n_decisions)
                         decisions.append((net, value ^ 1, True))
                         assignments[net] = value ^ 1
                         backtracked = True
                         break
                 if not backtracked:
                     return PodemResult(tuple(faults), None, "untestable",
-                                       backtracks)
+                                       backtracks, n_decisions)
             else:
                 net, value = pi
                 assignments[net] = value
                 decisions.append((net, value, False))
+                n_decisions += 1
             machines = self._imply(assignments, sites, cone)
 
     # ------------------------------------------------------------------
-    def _site_cone(self, sites: frozenset) -> List[Gate]:
+    def _site_cone(self, sites: FrozenSet[int]) -> List[Gate]:
         """Gates in the transitive fanout of any site, topological order."""
         tainted = set(sites)
         cone: List[Gate] = []
@@ -255,17 +289,27 @@ class Podem:
     def _objective(self, machines: _Machines, sites: Dict[int, int],
                    cone: List[Gate]) -> Optional[Tuple[int, int]]:
         """Next (net, value) goal, or ``None`` on conflict."""
+        analysis = self.analysis
         # 1. Excitation: at least one site must carry the opposite of its
         # stuck value in the good machine.
         excited = any(machines.good(n) == (s ^ 1)
                       for n, s in sites.items())
         if not excited:
+            best: Optional[Tuple[int, int]] = None
+            best_cost = 0.0
             for net, stuck in sites.items():
-                if machines.good(net) is X:
+                if machines.good(net) is not X:
+                    continue
+                if analysis is None:
                     return net, stuck ^ 1
-            return None  # every site is pinned at its stuck value
+                cost = analysis.cc(net, stuck ^ 1)
+                if best is None or cost < best_cost:
+                    best, best_cost = (net, stuck ^ 1), cost
+            return best  # None when every site is pinned at its stuck value
         # 2. Propagation: an X side-input of a D-frontier gate (all
         # D-frontier gates lie inside the cone by construction).
+        best_goal: Optional[Tuple[int, int]] = None
+        best_key: Tuple[float, float] = (0.0, 0.0)
         for gate in cone:
             out = gate.output
             g_out = machines.good(out)
@@ -287,13 +331,28 @@ class Podem:
             non_controlling = (control ^ 1) if control is not None else 0
             for i in gate.inputs:
                 if machines.good(i) is X and i not in machines.overlay:
-                    return i, non_controlling
-        return None
+                    if analysis is None:
+                        return i, non_controlling
+                    # Guided: drive the D-frontier gate closest to an
+                    # output (min CO), and within it set the hardest
+                    # side input first so hopeless branches die early.
+                    key = (analysis.co[out],
+                           -analysis.cc(i, non_controlling))
+                    if best_goal is None or key < best_key:
+                        best_goal, best_key = (i, non_controlling), key
+        return best_goal
 
     def _backtrace(self, net: int, value: int,
                    machines: _Machines) -> Optional[Tuple[int, int]]:
-        """Map an internal objective to a PI assignment."""
+        """Map an internal objective to a PI assignment.
+
+        Guided mode replaces the first-X input choice with SCOAP costs:
+        when one controlling input suffices, walk through the *easiest*
+        one; when every input must take the non-controlling value, walk
+        through the *hardest* one first.
+        """
         good = machines.good
+        analysis = self.analysis
         current, target = net, value
         for _ in range(self.netlist.n_nets + 1):
             if current in self._pi_set:
@@ -308,21 +367,34 @@ class Podem:
             if gate.kind in (GateType.XOR, GateType.XNOR):
                 other = [i for i in gate.inputs if good(i) is not X]
                 known = good(other[0]) if other else 0
-                for i in gate.inputs:
-                    if good(i) is X:
-                        current, target = i, target ^ known
-                        break
-                else:
+                x_inputs = [i for i in gate.inputs if good(i) is X]
+                if not x_inputs:
                     return None
+                want = target ^ known
+                if analysis is not None:
+                    current = min(x_inputs,
+                                  key=lambda n, w=want: analysis.cc(n, w))
+                else:
+                    current = x_inputs[0]
+                target = want
                 continue
             control = _CONTROLLING.get(gate.kind)
             x_inputs = [i for i in gate.inputs if good(i) is X]
             if not x_inputs:
                 return None
             if control is not None and target == control:
-                current = x_inputs[0]
+                if analysis is not None:
+                    current = min(
+                        x_inputs, key=lambda n, c=control: analysis.cc(n, c))
+                else:
+                    current = x_inputs[0]
                 target = control
             else:
-                current = x_inputs[0]
-                target = target if control is None else control ^ 1
+                want = target if control is None else control ^ 1
+                if analysis is not None:
+                    current = max(x_inputs,
+                                  key=lambda n, w=want: analysis.cc(n, w))
+                else:
+                    current = x_inputs[0]
+                target = want
         return None

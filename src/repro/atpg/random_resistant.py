@@ -73,7 +73,13 @@ def target_random_resistant(
     netlist: Netlist,
     faults: Sequence[Fault],
     backtrack_limit: int = 2000,
+    guided: bool = False,
 ) -> List[TargetedFault]:
-    """Run PODEM on each random-resistant fault of a component."""
-    engine = Podem(netlist, backtrack_limit=backtrack_limit)
+    """Run PODEM on each random-resistant fault of a component.
+
+    ``guided=True`` steers the search with the SCOAP cost model from
+    :mod:`repro.analysis.testability` — apt here, since random-resistant
+    faults are exactly the ones the static model predicts to be hard.
+    """
+    engine = Podem(netlist, backtrack_limit=backtrack_limit, guided=guided)
     return [TargetedFault(fault=f, result=engine.generate(f)) for f in faults]

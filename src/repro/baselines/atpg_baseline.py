@@ -41,6 +41,11 @@ class AtpgBaselineResult:
     n_detected_random_phase: int = 0
     patterns: List[List[int]] = field(default_factory=list)
     #: each pattern is a per-frame list of 17-bit instruction words
+    #: total PODEM search effort over the deterministic phase, for
+    #: guided-vs-unguided comparisons in the benchmark registry
+    total_backtracks: int = 0
+    total_decisions: int = 0
+    guided: bool = False
 
     @property
     def fault_coverage(self) -> float:
@@ -65,6 +70,7 @@ def run_atpg_baseline(
     random_phase_length: int = 32,
     sample_rng: Optional[random.Random] = None,
     random_phase_rng: Optional[random.Random] = None,
+    guided: bool = False,
 ) -> AtpgBaselineResult:
     """Run the commercial-tool recipe on the flat core.
 
@@ -82,7 +88,8 @@ def run_atpg_baseline(
     """
     core = netlist if netlist is not None else make_gatelevel_core()
     unrolled = unroll(core, n_frames)
-    engine = Podem(unrolled.netlist, backtrack_limit=backtrack_limit)
+    engine = Podem(unrolled.netlist, backtrack_limit=backtrack_limit,
+                   guided=guided)
 
     faults = list(collapse_faults(core).faults)
     if fault_sample is not None and fault_sample < len(faults):
@@ -112,13 +119,16 @@ def run_atpg_baseline(
         faults = survivors
 
     detected = untestable = aborted = 0
+    total_backtracks = total_decisions = 0
     patterns: List[List[int]] = []
     instr_words_per_frame = [
         unrolled.frame_bus(frame, "instr") for frame in range(n_frames)
     ]
     for fault in faults:
         result = engine.generate_multi(unrolled.fault_sites(fault))
-        if result.detected:
+        total_backtracks += result.backtracks
+        total_decisions += result.decisions
+        if result.detected and result.pattern is not None:
             detected += 1
             frames = []
             for nets in instr_words_per_frame:
@@ -140,4 +150,7 @@ def run_atpg_baseline(
         n_frames=n_frames,
         n_detected_random_phase=random_detected,
         patterns=patterns,
+        total_backtracks=total_backtracks,
+        total_decisions=total_decisions,
+        guided=guided,
     )

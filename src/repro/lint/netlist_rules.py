@@ -360,6 +360,140 @@ def check_depth_outliers(netlist: Netlist) -> Iterator[Finding]:
 
 
 # ----------------------------------------------------------------------
+# NET008–NET011 — static testability (SCOAP/COP, repro.analysis)
+# ----------------------------------------------------------------------
+#: NET008/NET009 flag nets whose SCOAP controllability/observability sits
+#: strictly above this percentile of the netlist's finite values.  The
+#: cliff is relative, so a small clean netlist — where the worst net IS
+#: the percentile — produces no findings; only designs with a long
+#: testability tail (like the flat core) do.
+TESTABILITY_PERCENTILE = 99.0
+#: Below this size the percentile cliff is statistically meaningless.
+TESTABILITY_MIN_NETS = 64
+#: NET010: a fault site whose COP detection probability is below this
+#: floor is predicted random-resistant — random patterns are expected to
+#: need more than ~1/floor vectors to hit it.  Kept equal to
+#: ``repro.analysis.testability.DEFAULT_DETECT_FLOOR`` so the lint rule
+#: and the ``repro testability`` CLI agree by default (a test pins it).
+DETECT_PROB_FLOOR = 1e-8
+
+#: One SCOAP/COP analysis per netlist instance per process: four rules
+#: share it, and the campaign warn hook may lint the same core the CLI
+#: just did.
+_testability_cache: "weakref.WeakKeyDictionary[Netlist, object]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _testability(netlist: Netlist):
+    """The cached :class:`TestabilityAnalysis`, or ``None`` if broken."""
+    if netlist in _testability_cache:
+        return _testability_cache[netlist]
+    from repro.analysis.testability import analyze_testability
+    try:
+        analysis = analyze_testability(netlist)
+    except ValueError:
+        analysis = None  # structurally broken: NET000's findings apply
+    _testability_cache[netlist] = analysis
+    return analysis
+
+
+@rule("NET008", "netlist", Severity.INFO,
+      "hard-to-control net (SCOAP controllability above percentile cliff)")
+def check_hard_to_control(netlist: Netlist) -> Iterator[Finding]:
+    analysis = _testability(netlist)
+    if analysis is None or netlist.n_nets < TESTABILITY_MIN_NETS:
+        return
+    from repro.analysis.testability import finite, percentile
+    difficulty = [analysis.difficulty(net) for net in range(netlist.n_nets)]
+    cliff = percentile(finite(difficulty), TESTABILITY_PERCENTILE)
+    for net, cost in enumerate(difficulty):
+        if cliff < cost < float("inf"):
+            yield finding(
+                "NET008",
+                _loc(netlist, f"net {_net_name(netlist, net)!r}"),
+                f"SCOAP controllability {cost:.0f} exceeds the p"
+                f"{TESTABILITY_PERCENTILE:g} cliff ({cliff:.0f})",
+                hint="justifying a value here costs a long input "
+                     "sequence; consider a control/test point",
+            )
+
+
+@rule("NET009", "netlist", Severity.INFO,
+      "hard-to-observe net (SCOAP observability above percentile cliff)")
+def check_hard_to_observe(netlist: Netlist) -> Iterator[Finding]:
+    analysis = _testability(netlist)
+    if analysis is None or netlist.n_nets < TESTABILITY_MIN_NETS:
+        return
+    from repro.analysis.testability import finite, percentile
+    cliff = percentile(finite(analysis.co), TESTABILITY_PERCENTILE)
+    for net, cost in enumerate(analysis.co):
+        if cliff < cost < float("inf"):
+            yield finding(
+                "NET009",
+                _loc(netlist, f"net {_net_name(netlist, net)!r}"),
+                f"SCOAP observability {cost:.0f} exceeds the p"
+                f"{TESTABILITY_PERCENTILE:g} cliff ({cliff:.0f})",
+                hint="propagating a fault effect from here to an output "
+                     "is expensive; consider an observation point",
+            )
+
+
+@rule("NET010", "netlist", Severity.WARNING,
+      "predicted random-resistant fault site (COP detection probability "
+      "below floor)")
+def check_random_resistant_sites(netlist: Netlist) -> Iterator[Finding]:
+    analysis = _testability(netlist)
+    if analysis is None:
+        return
+    from repro.faults.model import collapse_faults
+    for fault in collapse_faults(netlist).faults:
+        score = analysis.score(fault)
+        if score.statically_untestable:
+            continue  # NET011's finding, not a probability problem
+        prob = score.detection_probability
+        if prob < DETECT_PROB_FLOOR:
+            name = _net_name(netlist, fault.net)
+            yield finding(
+                "NET010",
+                _loc(netlist, f"fault {name!r} sa{fault.stuck_at}"),
+                f"COP detection probability {prob:.2e} is below the "
+                f"{DETECT_PROB_FLOOR:.0e} floor",
+                hint="random patterns are not expected to catch this "
+                     "fault; schedule it for deterministic ATPG "
+                     "(repro.atpg, guided=True)",
+            )
+
+
+@rule("NET011", "netlist", Severity.WARNING,
+      "statically untestable candidate (unbounded SCOAP excitation or "
+      "observation cost)")
+def check_statically_untestable(netlist: Netlist) -> Iterator[Finding]:
+    analysis = _testability(netlist)
+    if analysis is None:
+        return
+    from repro.faults.model import collapse_faults
+    for fault in collapse_faults(netlist).faults:
+        score = analysis.score(fault)
+        if not score.statically_untestable:
+            continue
+        name = _net_name(netlist, fault.net)
+        reasons = []
+        if score.excite_cost == float("inf"):
+            reasons.append(
+                f"no input sequence drives it to {fault.stuck_at ^ 1}"
+            )
+        if score.observe_cost == float("inf"):
+            reasons.append("no path propagates it to an output")
+        yield finding(
+            "NET011",
+            _loc(netlist, f"fault {name!r} sa{fault.stuck_at}"),
+            "statically untestable: " + " and ".join(reasons),
+            hint="dead or constant logic (see NET002/NET003); faults "
+                 "here cap achievable coverage",
+        )
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 def lint_netlist(netlist: Netlist,

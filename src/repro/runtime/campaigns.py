@@ -414,6 +414,7 @@ class AtpgBaselineCampaign:
         unit_timeout: Optional[float] = None,
         runner: Optional[CampaignRunner] = None,
         jobs: Optional[int] = None,
+        guided: bool = False,
     ):
         self.netlist = netlist
         self.n_frames = n_frames
@@ -422,6 +423,7 @@ class AtpgBaselineCampaign:
         self.seed = seed
         self.random_phase_sequences = random_phase_sequences
         self.random_phase_length = random_phase_length
+        self.guided = guided
         self.runner = _default_runner(checkpoint, unit_timeout, runner, jobs)
         self._setup = _Lazy(self._build_setup)
 
@@ -434,6 +436,7 @@ class AtpgBaselineCampaign:
             "seed": self.seed,
             "random_phase_sequences": self.random_phase_sequences,
             "random_phase_length": self.random_phase_length,
+            "guided": self.guided,
         }
 
     def _build_setup(self) -> Dict[str, Any]:
@@ -476,7 +479,8 @@ class AtpgBaselineCampaign:
             "core": core,
             "unrolled": unrolled,
             "engine": Podem(unrolled.netlist,
-                            backtrack_limit=self.backtrack_limit),
+                            backtrack_limit=self.backtrack_limit,
+                            guided=self.guided),
             "survivors": survivors,
             "random_detected": random_detected,
             "instr_nets": [unrolled.frame_bus(frame, "instr")
@@ -489,11 +493,14 @@ class AtpgBaselineCampaign:
         engine = setup["engine"]
         if backtrack_limit is not None:
             engine = Podem(setup["unrolled"].netlist,
-                           backtrack_limit=backtrack_limit)
+                           backtrack_limit=backtrack_limit,
+                           guided=self.guided)
         result = engine.generate_multi(
             setup["unrolled"].fault_sites(fault)
         )
-        record: Dict[str, Any] = {"status": result.status}
+        record: Dict[str, Any] = {"status": result.status,
+                                  "backtracks": result.backtracks,
+                                  "decisions": result.decisions}
         if result.detected:
             frames = []
             for nets in setup["instr_nets"]:
@@ -532,10 +539,13 @@ class AtpgBaselineCampaign:
         )
         setup = self._setup()
         detected = untestable = aborted = 0
+        total_backtracks = total_decisions = 0
         patterns: List[List[int]] = []
         for result in report.results.values():
             record = result.value or {}
             status = record.get("status")
+            total_backtracks += record.get("backtracks", 0)
+            total_decisions += record.get("decisions", 0)
             if status == "detected":
                 detected += 1
                 patterns.append(record.get("frames", []))
@@ -551,5 +561,8 @@ class AtpgBaselineCampaign:
             n_frames=self.n_frames,
             n_detected_random_phase=setup["random_detected"],
             patterns=patterns,
+            total_backtracks=total_backtracks,
+            total_decisions=total_decisions,
+            guided=self.guided,
         )
         return CampaignOutcome(result=result, report=report)

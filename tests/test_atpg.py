@@ -43,6 +43,59 @@ def test_podem_detects_every_testable_fault(maker):
     assert not undetected, [f.describe(nl) for f in undetected]
 
 
+@pytest.mark.parametrize("maker", [
+    lambda: make_addsub(6),
+    lambda: make_limiter(),
+])
+def test_guided_podem_detects_every_testable_fault(maker):
+    """The SCOAP-guided backtrace produces verified patterns and proves
+    the same redundancies as the unguided engine."""
+    nl = maker()
+    engine = Podem(nl, backtrack_limit=5000, guided=True)
+    undetected = []
+    for fault in collapse_faults(nl).faults:
+        result = engine.generate(fault)
+        if result.detected:
+            assert verify_pattern(nl, fault, result), fault.describe(nl)
+        elif result.status == "aborted":
+            undetected.append(fault)
+    assert not undetected, [f.describe(nl) for f in undetected]
+
+
+def test_podem_counts_decisions_and_backtracks():
+    nl = make_addsub(6)
+    engine = Podem(nl, backtrack_limit=5000)
+    fault = Fault(nl.net_id("a[0]"), 0)
+    result = engine.generate(fault)
+    assert result.detected
+    assert result.decisions > 0
+    assert result.backtracks >= 0
+
+
+def test_guided_engine_accepts_shared_analysis():
+    """Passing a precomputed TestabilityAnalysis skips the lazy one."""
+    from repro.analysis.testability import analyze_testability
+    nl = make_addsub(6)
+    analysis = analyze_testability(nl)
+    engine = Podem(nl, guided=True, analysis=analysis)
+    assert engine.analysis is analysis
+    fault = Fault(nl.net_id("a[0]"), 0)
+    result = engine.generate(fault)
+    assert result.detected
+    assert verify_pattern(nl, fault, result)
+
+
+def test_target_random_resistant_guided():
+    nl = make_multiplier(8, 18)
+    resistant = find_random_resistant(nl, n_patterns=4096)
+    targeted = target_random_resistant(nl, resistant[:6],
+                                       backtrack_limit=2000, guided=True)
+    for t in targeted:
+        assert t.result.status in ("detected", "untestable", "aborted")
+        if t.result.detected:
+            assert verify_pattern(nl, t.fault, t.result)
+
+
 def test_podem_rejects_sequential():
     b = NetlistBuilder("seq")
     a = b.input("a")

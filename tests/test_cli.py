@@ -174,6 +174,28 @@ def test_save_and_reuse_metrics_table(tmp_path, capsys):
     assert "ld rnd" in out
 
 
+def test_testability_command(tmp_path, capsys):
+    report = tmp_path / "testability.json"
+    assert main(["testability", "--target", "components",
+                 "--json", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "multiplier" in out and "med p(det)" in out
+    assert "statically untestable" in out
+    import json
+    doc = json.loads(report.read_text())
+    assert doc["schema"] == "repro.testability/1"
+    names = {c["name"] for c in doc["components"]}
+    assert {"multiplier", "shifter", "limiter"} <= names
+    mult = next(c for c in doc["components"] if c["name"] == "multiplier")
+    # The multiplier's tie-off faults are statically untestable.
+    assert mult["n_unbounded"] >= 2
+
+
+def test_testability_rejects_bad_floor(capsys):
+    assert main(["testability", "--floor", "-1"]) == 2
+    assert "floor" in capsys.readouterr().err
+
+
 def test_isa_command(capsys):
     assert main(["isa"]) == 0
     out = capsys.readouterr().out

@@ -1,4 +1,4 @@
-"""Tests for the netlist-domain lint rules (NET000..NET007)."""
+"""Tests for the netlist-domain lint rules (NET000..NET011)."""
 
 import warnings
 
@@ -182,6 +182,119 @@ def test_min_severity_filters_warnings():
     nl.add_gate(GateType.NOT, dead, (nl.net_id("a"),))
     assert "NET002" in rules_fired(lint_netlist(nl))
     assert rules_fired(lint_netlist(nl, Severity.ERROR)) == set()
+
+
+# ----------------------------------------------------------------------
+# NET008..NET011 — structural testability rules
+# ----------------------------------------------------------------------
+def make_cliff_netlist():
+    """A backdrop of shallow logic plus one deep AND chain: the chain's
+    tail is a controllability/observability outlier past the percentile
+    cliff (needs >= TESTABILITY_MIN_NETS nets to arm the rule)."""
+    nl = Netlist("cliff")
+    ins = []
+    for i in range(40):
+        a = nl.add_net(f"a{i}")
+        nl.add_input(a)
+        ins.append(a)
+        o = nl.add_net(f"e{i}")
+        nl.add_gate(GateType.NOT, o, (a,))
+        nl.add_output(o)
+    prev = ins[0]
+    for i in range(40):
+        n = nl.add_net(f"h{i}")
+        nl.add_gate(GateType.AND, n, (prev, ins[i % 40]))
+        prev = n
+    nl.add_output(prev)
+    return nl
+
+
+def test_net008_net009_flag_testability_cliff():
+    report = lint_netlist(make_cliff_netlist())
+    fired = rules_fired(report)
+    assert "NET008" in fired
+    assert "NET009" in fired
+    hard = [f for f in report if f.rule == "NET008"]
+    # The chain's tail is the hardest-to-control net.
+    assert any("'h39'" in f.location for f in hard)
+    # INFO severity: never fails a lint run on its own.
+    assert all(f.severity == Severity.INFO
+               for f in report if f.rule in ("NET008", "NET009"))
+
+
+def test_net008_skips_small_netlists():
+    """Percentile cliffs are meaningless on a handful of nets."""
+    fired = rules_fired(lint_netlist(clean_netlist()))
+    assert "NET008" not in fired
+    assert "NET009" not in fired
+
+
+def test_net010_flags_random_resistant_cone():
+    nl = Netlist("wide")
+    ins = []
+    for i in range(32):
+        a = nl.add_net(f"x{i}")
+        nl.add_input(a)
+        ins.append(a)
+    y = nl.add_net("y")
+    nl.add_gate(GateType.AND, y, tuple(ins))
+    nl.add_output(y)
+    report = lint_netlist(nl)
+    net010 = [f for f in report if f.rule == "NET010"]
+    # y sa0 needs all 32 inputs high: p = 2^-32 < the 1e-8 floor.
+    assert any("'y' sa0" in f.location for f in net010)
+    assert all(f.severity == Severity.WARNING for f in net010)
+    assert report.exit_code() == 0
+    assert report.exit_code(strict=True) == 1
+
+
+def test_net011_flags_statically_untestable():
+    nl = Netlist("tied")
+    a = nl.add_net("a")
+    b = nl.add_net("b")
+    tie = nl.add_net("tie")
+    gated = nl.add_net("gated")
+    y = nl.add_net("y")
+    nl.add_input(a)
+    nl.add_input(b)
+    nl.add_gate(GateType.CONST0, tie, ())
+    nl.add_gate(GateType.AND, gated, (a, tie))
+    nl.add_gate(GateType.OR, y, (gated, b))
+    nl.add_output(y)
+    report = lint_netlist(nl)
+    net011 = [f for f in report if f.rule == "NET011"]
+    assert any("'gated' sa0" in f.location for f in net011)
+    # Statically untestable sites are NET011's, not NET010's.
+    net010_locs = {f.location for f in report if f.rule == "NET010"}
+    assert not any("'gated' sa0" in loc for loc in net011
+                   if loc in net010_locs)
+
+
+def test_detect_floor_matches_analysis_default():
+    """The lint floor and the `repro testability` CLI default agree."""
+    from repro.analysis.testability import DEFAULT_DETECT_FLOOR
+    from repro.lint.netlist_rules import DETECT_PROB_FLOOR
+    assert DETECT_PROB_FLOOR == DEFAULT_DETECT_FLOOR
+
+
+def test_testability_rules_quiet_on_clean_logic():
+    fired = rules_fired(lint_netlist(clean_netlist()))
+    assert "NET010" not in fired
+    assert "NET011" not in fired
+
+
+@pytest.mark.parametrize("artifact,expected_rule", [
+    ("examples/lint/untestable_netlist.json", "NET011"),
+    ("examples/lint/random_resistant_netlist.json", "NET010"),
+])
+def test_seeded_defect_artifacts_fire(artifact, expected_rule):
+    from pathlib import Path
+
+    from repro.lint.artifacts import load_artifact
+    path = Path(__file__).parent.parent / artifact
+    report = lint_netlist(load_artifact(str(path)))
+    assert expected_rule in rules_fired(report)
+    assert report.exit_code(strict=True) == 1
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,12 @@ Commands cover the everyday flows:
 * ``serve`` / ``submit`` / ``status`` / ``cancel`` — the crash-safe
   campaign service: a persistent job queue with lease-based workers
   (see :mod:`repro.runtime.service`); ``serve --soak`` is the
-  scheduler-level chaos soak;
+  scheduler-level chaos soak and ``serve --soak --distributed`` the
+  multi-worker transport soak (see :mod:`repro.runtime.worker`);
+* ``worker`` — a remote campaign worker: connects to a serving
+  scheduler over the length-prefixed frame transport
+  (:mod:`repro.runtime.transport`), leases jobs, streams heartbeats
+  and uploads results into the content-addressed artifact store;
 * ``export-verilog`` — write the flat gate-level core as Verilog.
 """
 
@@ -26,6 +31,11 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+#: ``serve --soak --inject`` default; ``--distributed`` swaps in the
+#: transport-aware class list when the user did not pick their own.
+_SOAK_INJECT_DEFAULT = ("kill,scheduler_crash,lease_lost,"
+                        "heartbeat_delay,queue_torn_write")
 
 
 def _cmd_table1(args) -> int:
@@ -301,6 +311,43 @@ def _service_soak(args) -> int:
     return 0
 
 
+def _distributed_soak(args) -> int:
+    import json as _json
+    from repro.runtime.chaos import DISTRIBUTED_SOAK_CLASSES, parse_classes
+    from repro.runtime.errors import ConfigError
+    from repro.runtime.worker import run_distributed_soak
+
+    if args.seed is None:
+        raise ConfigError("serve --soak requires --seed")
+    inject = args.inject
+    if inject == _SOAK_INJECT_DEFAULT:
+        inject = ",".join(DISTRIBUTED_SOAK_CLASSES)
+    classes = parse_classes(inject)
+    print(f"distributed soak: {args.campaigns} campaigns x "
+          f"{args.units} units over {args.workers} workers, "
+          f"seed {args.seed}, injecting {','.join(classes)}")
+    report = run_distributed_soak(
+        seed=args.seed, campaigns=args.campaigns, n_units=args.units,
+        workers=args.workers, classes=classes,
+        probability=args.probability, max_per_class=args.max_per_class,
+        scratch=args.scratch,
+        progress=print if args.verbose else None,
+    )
+    print(report.summary())
+    print(f"disruptions (scheduler crashes + host losses + reclaims): "
+          f"{report.n_disruptions}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_json(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote distributed soak report to {args.report}")
+    if not report.ok():
+        for violation in report.violations:
+            print(f"VIOLATION: {violation.describe()}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import signal
     from repro.runtime.errors import ConfigError
@@ -311,9 +358,17 @@ def _cmd_serve(args) -> int:
     )
 
     if args.soak:
+        if args.distributed:
+            return _distributed_soak(args)
         return _service_soak(args)
+    if args.distributed:
+        raise ConfigError("--distributed only applies to serve --soak")
     if not args.journal:
         raise ConfigError("serve requires --journal (or --soak)")
+    if args.remote_only and not args.listen:
+        raise ConfigError("serve --remote-only requires --listen "
+                          "(a pure scheduler with no transport would "
+                          "never run anything)")
 
     config = ServiceConfig(
         lease_ttl=args.lease_ttl,
@@ -321,19 +376,38 @@ def _cmd_serve(args) -> int:
         max_job_retries=args.max_job_retries,
     )
     service = SchedulerService(args.journal, config=config)
+    server = None
+    store = None
+    if args.listen:
+        from repro.runtime.artifacts import ArtifactStore
+        from repro.runtime.transport import (
+            SchedulerEndpoint,
+            TransportServer,
+        )
+        artifact_root = args.artifacts or args.journal + ".artifacts"
+        store = ArtifactStore(artifact_root)
+        endpoint = SchedulerEndpoint(service, artifacts=store)
+        server = TransportServer(endpoint, args.listen)
 
     def on_sigterm(signum, frame):
         # Only a flag flip here: journal appends from inside a signal
         # handler could interleave with an append already in flight.
+        # serve_until_drained journals the drain AND pushes a drain
+        # frame to every connected remote worker.
         service.request_drain()
 
     previous = signal.signal(signal.SIGTERM, on_sigterm)
     try:
         print(f"serving {args.journal} (epoch {service.epoch}, "
               f"{service.queue_depth()} jobs queued)")
+        if server is not None:
+            print(f"listening on {server.address} "
+                  f"(artifacts: {store.root})")
         outcome = serve_until_drained(
             service, poll_seconds=args.poll,
             idle_exit=not args.no_idle_exit,
+            server=server,
+            local_worker=not args.remote_only,
         )
         rows = service.status_rows()
         done = sum(1 for r in rows if r["status"] == "done")
@@ -341,7 +415,39 @@ def _cmd_serve(args) -> int:
         return 0
     finally:
         signal.signal(signal.SIGTERM, previous)
+        if server is not None:
+            server.stop()
+        if store is not None:
+            store.close()
         service.close()
+
+
+def _cmd_worker(args) -> int:
+    from repro.runtime.transport import RetryPolicy
+    from repro.runtime.worker import run_worker
+
+    policy = RetryPolicy(
+        max_attempts=args.rpc_retries,
+        rpc_timeout=args.rpc_timeout,
+        deadline=args.rpc_deadline,
+    )
+    policy.validate()
+    outcome = run_worker(
+        args.connect,
+        worker_id=args.id,
+        policy=policy,
+        reconnect_seconds=args.reconnect,
+        max_idle=args.max_idle,
+        poll_seconds=args.poll,
+        seed=args.seed,
+        progress=print if args.verbose else None,
+    )
+    counts = outcome["outcomes"]
+    print(f"worker {outcome['worker']}: {outcome['status']} "
+          f"({sum(counts.values())} jobs: {counts})")
+    # "drained" and "idle" are orderly exits; losing the scheduler for
+    # longer than --reconnect is an error the supervisor should see.
+    return 0 if outcome["status"] in ("drained", "idle") else 1
 
 
 def _cmd_submit(args) -> int:
@@ -382,19 +488,25 @@ def _cmd_status(args) -> int:
     import json as _json
     from repro.harness.reporting import format_table
     from repro.runtime.service import journal_status, verify_journal
+    from repro.runtime.transport import journal_worker_rows
 
     rows = journal_status(args.journal)
+    worker_rows = journal_worker_rows(args.journal) \
+        if args.workers else []
     violations = verify_journal(
         args.journal, require_terminal=args.require_terminal) \
         if args.verify else []
     if args.json:
-        print(_json.dumps({
+        doc = {
             "jobs": rows,
             "violations": [v.to_json() for v in violations],
-        }, indent=2))
+        }
+        if args.workers:
+            doc["workers"] = worker_rows
+        print(_json.dumps(doc, indent=2))
     else:
         columns = ("job", "kind", "status", "attempts", "failures",
-                   "reclaims", "units_ok", "units_degraded",
+                   "reclaims", "fenced", "units_ok", "units_degraded",
                    "units_quarantined", "units_retried",
                    "leaked_threads")
         print(format_table(
@@ -402,6 +514,13 @@ def _cmd_status(args) -> int:
         terminal = sum(1 for r in rows if r["status"] in
                        ("done", "quarantined", "cancelled"))
         print(f"{len(rows)} jobs, {terminal} terminal")
+        if args.workers:
+            wcolumns = ("worker", "host", "pid", "registrations",
+                        "leases", "done", "failed", "released",
+                        "fenced", "reclaimed", "last_seen_age")
+            print(f"\n{len(worker_rows)} worker(s) seen:")
+            print(format_table(wcolumns, [
+                tuple(r[c] for c in wcolumns) for r in worker_rows]))
     if args.verify:
         for violation in violations:
             print(f"VIOLATION: {violation.describe()}", file=sys.stderr)
@@ -713,9 +832,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-idle-exit", action="store_true",
                    help="keep serving after every job is terminal "
                         "(wait for more submissions)")
+    p.add_argument("--listen", metavar="ADDR",
+                   help="also accept remote workers over the frame "
+                        "transport: HOST:PORT for TCP (port 0 picks a "
+                        "free one) or unix:/path for a UNIX socket")
+    p.add_argument("--artifacts", metavar="DIR",
+                   help="content-addressed result store for remote "
+                        "uploads (default: <journal>.artifacts)")
+    p.add_argument("--remote-only", action="store_true",
+                   help="run no local worker; remote workers (repro "
+                        "worker --connect) do all the work "
+                        "(requires --listen)")
     p.add_argument("--soak", action="store_true",
                    help="run the scheduler chaos soak instead of a "
                         "real service (deterministic, virtual-clock)")
+    p.add_argument("--distributed", action="store_true",
+                   help="soak: soak the multi-worker transport tier "
+                        "instead (partitions, duplicated/reordered "
+                        "frames, worker host losses, golden-twin "
+                        "audit of every campaign)")
+    p.add_argument("--workers", type=int, default=3, metavar="N",
+                   help="distributed soak: remote workers (default 3)")
     p.add_argument("--seed", type=int,
                    help="soak: master seed for the failure schedule")
     p.add_argument("--campaigns", type=int, default=25, metavar="K",
@@ -723,10 +860,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--units", type=int, default=8, metavar="N",
                    help="soak: work units per campaign (default 8)")
     p.add_argument("--inject",
-                   default="kill,scheduler_crash,lease_lost,"
-                           "heartbeat_delay,queue_torn_write",
+                   default=_SOAK_INJECT_DEFAULT,
                    metavar="CLASSES",
-                   help="soak: comma-separated failure classes")
+                   help="soak: comma-separated failure classes "
+                        "(--distributed defaults to the transport-"
+                        "aware class list)")
     p.add_argument("--probability", type=float, default=0.4,
                    help="soak: repeat-injection probability in [0, 1)")
     p.add_argument("--max-per-class", type=int, default=None,
@@ -741,6 +879,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="soak: print per-event progress")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("worker",
+                       help="connect to a serving scheduler over the "
+                            "frame transport and run leased jobs "
+                            "until drained")
+    p.add_argument("--connect", required=True, metavar="ADDR",
+                   help="scheduler address: HOST:PORT or unix:/path "
+                        "(must match the scheduler's --listen)")
+    p.add_argument("--id", metavar="NAME",
+                   help="stable worker id (default: <hostname>-<pid>)")
+    p.add_argument("--reconnect", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="keep retrying a dead scheduler this long "
+                        "before giving up (default 60; rides out a "
+                        "kill -9 + restart)")
+    p.add_argument("--max-idle", type=int, default=None, metavar="N",
+                   help="exit after N consecutive empty lease polls "
+                        "(default: wait forever for work)")
+    p.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                   help="idle/reconnect polling interval (default 0.5)")
+    p.add_argument("--rpc-timeout", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="per-RPC socket timeout (default 5)")
+    p.add_argument("--rpc-retries", type=int, default=5, metavar="N",
+                   help="attempts per RPC before the call fails "
+                        "(default 5, exponential backoff + jitter)")
+    p.add_argument("--rpc-deadline", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="overall deadline across one RPC's retries "
+                        "(default 30)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for retry jitter (deterministic tests)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-job progress lines")
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("submit",
                        help="spool one campaign job for a running (or "
@@ -776,6 +949,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--require-terminal", action="store_true",
                    help="with --verify: a non-terminal job is a "
                         "violation (for finished soaks)")
+    p.add_argument("--workers", action="store_true",
+                   help="also print per-worker transport health "
+                        "(registrations, leases, fenced writes, "
+                        "last-heartbeat age) replayed from the journal")
     p.set_defaults(func=_cmd_status)
 
     p = sub.add_parser("cancel",

@@ -24,7 +24,12 @@ Rules:
 * ``CMP005`` — scheduler-service policies that defeat the service's
   own crash-safety (a lease TTL the heartbeat cadence cannot keep
   renewed, a zero job-retry budget, a job journal inside the chaos
-  scratch directory).
+  scratch directory);
+* ``CMP006`` — transport/worker policies that defeat the distributed
+  tier's fault tolerance (an RPC timeout at or above the heartbeat
+  cadence, a zero transport retry budget, a retry deadline shorter
+  than one RPC attempt, an artifact store inside the chaos scratch
+  directory).
 """
 
 from __future__ import annotations
@@ -57,6 +62,10 @@ class CampaignConfig:
     #: (:class:`repro.runtime.service.ServiceConfig`) the campaign
     #: would be submitted under.
     service: Optional[Any] = None
+    #: The ``"transport"`` block, when present — the remote-worker RPC
+    #: policy (:class:`repro.runtime.transport.RetryPolicy` plus the
+    #: artifact-store path) the campaign's workers would connect with.
+    transport: Optional[Any] = None
 
     @classmethod
     def from_adapter(cls, name: str, campaign: Any) -> "CampaignConfig":
@@ -84,6 +93,7 @@ class CampaignConfig:
             max_retries=int(doc.get("max_retries", 2)),
             chaos=doc.get("chaos"),
             service=doc.get("service"),
+            transport=doc.get("transport"),
         )
 
 
@@ -324,6 +334,97 @@ def check_service_policy(
                     "(every job, lease and retry counter) is destroyed "
                     "with the chaos debris",
                     hint="point the journal outside the scratch directory",
+                )
+
+
+# ----------------------------------------------------------------------
+# CMP006 — self-defeating transport/worker policies
+# ----------------------------------------------------------------------
+@rule("CMP006", "campaign", Severity.ERROR,
+      "transport/worker policy defeats the distributed tier's "
+      "fault tolerance")
+def check_transport_policy(
+    configs: Sequence[CampaignConfig],
+) -> Iterator[Finding]:
+    for config in configs:
+        doc = config.transport
+        if doc is None:
+            continue
+        if not isinstance(doc, dict):
+            yield finding(
+                "CMP006", _loc(config, "transport"),
+                f"transport block must be an object, got "
+                f"{type(doc).__name__}",
+                hint="use {\"rpc_timeout\": ..., \"max_attempts\": ..., "
+                     "\"deadline\": ..., \"artifacts\": ...}",
+            )
+            continue
+        rpc_timeout = doc.get("rpc_timeout")
+        service_doc = config.service \
+            if isinstance(config.service, dict) else {}
+        heartbeat = service_doc.get("heartbeat_interval")
+        if isinstance(rpc_timeout, (int, float)) and rpc_timeout <= 0:
+            yield finding(
+                "CMP006", _loc(config, "transport.rpc_timeout"),
+                f"rpc_timeout={rpc_timeout!r}: every RPC gives up "
+                "before the scheduler can answer, so no worker ever "
+                "registers",
+                hint="the per-attempt socket timeout must be positive",
+            )
+        elif isinstance(rpc_timeout, (int, float)) \
+                and isinstance(heartbeat, (int, float)) \
+                and heartbeat > 0 and rpc_timeout >= heartbeat:
+            yield finding(
+                "CMP006", _loc(config, "transport.rpc_timeout"),
+                f"rpc_timeout={rpc_timeout!r} >= "
+                f"heartbeat_interval={heartbeat!r}: one stalled "
+                "heartbeat RPC blocks past its own cadence, renewals "
+                "fall behind and the lease expires under a perfectly "
+                "healthy worker — the scheduler then reclaims and "
+                "re-runs work that was never lost",
+                hint="keep the RPC timeout well under one heartbeat "
+                     "interval so a stall skips at most one renewal",
+            )
+        attempts = doc.get("max_attempts")
+        if isinstance(attempts, int) and attempts < 1:
+            yield finding(
+                "CMP006", _loc(config, "transport.max_attempts"),
+                f"max_attempts={attempts!r}: a zero transport retry "
+                "budget turns every dropped frame into a lost lease — "
+                "the whole point of the retry/idempotency layer is "
+                "that one partition blip is survivable",
+                hint="budget at least 2 attempts (retries are "
+                     "idempotent on the journal)",
+            )
+        deadline = doc.get("deadline")
+        if isinstance(deadline, (int, float)) \
+                and isinstance(rpc_timeout, (int, float)) \
+                and rpc_timeout > 0 and deadline < rpc_timeout:
+            yield finding(
+                "CMP006", _loc(config, "transport.deadline"),
+                f"deadline={deadline!r} < rpc_timeout={rpc_timeout!r}: "
+                "the overall retry deadline expires before a single "
+                "attempt is allowed to finish, so the configured "
+                "retries can never happen",
+                hint="give the deadline room for at least two full "
+                     "attempts plus backoff",
+            )
+        artifacts = doc.get("artifacts")
+        chaos_doc = config.chaos if isinstance(config.chaos, dict) else {}
+        scratch = chaos_doc.get("scratch")
+        if artifacts and scratch:
+            artifacts_abs = os.path.abspath(artifacts)
+            root = os.path.abspath(scratch)
+            if os.path.commonpath([artifacts_abs, root]) == root:
+                yield finding(
+                    "CMP006", _loc(config, "transport.artifacts"),
+                    f"artifact store {artifacts!r} lives inside the "
+                    f"chaos scratch directory {scratch!r}, which the "
+                    "soak deletes on exit — every uploaded result "
+                    "blob and the hash-chained manifest are destroyed "
+                    "with the chaos debris",
+                    hint="point the artifact store outside the scratch "
+                         "directory",
                 )
 
 

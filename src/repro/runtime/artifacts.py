@@ -1,0 +1,306 @@
+"""Content-addressed result/artifact store for distributed campaigns.
+
+Remote workers finish a campaign on *their* host; the durable record the
+fleet cares about — the per-unit result report, coverage summaries, soak
+reports — must survive the worker, the network and the scheduler.  This
+module stores those results the same way the runtime stores everything
+else it refuses to lose: immutable, verifiable, append-only.
+
+* **Blobs are content-addressed.**  Every artifact is stored under its
+  own sha256 (``blobs/<aa>/<sha256>``), written via temp +
+  ``os.replace``.  Re-uploading an existing blob verifies the bytes and
+  is otherwise a no-op, so the transport's at-least-once delivery is
+  safe by construction — there is no "half new version" state.
+* **The manifest is hash-chained.**  ``manifest.jsonl`` uses the exact
+  checkpoint/journal discipline (:func:`repro.runtime.integrity.chain_digest`):
+  an atomically written header, one fsynced record per artifact chained
+  to its predecessor, torn tails repaired by truncation on open.
+  Recording the same ``(job, name, sha256)`` twice is idempotent — one
+  manifest record per logical artifact no matter how many times the
+  upload RPC is retried.
+* **Everything is auditable.**  :meth:`ArtifactStore.verify` replays
+  the manifest and hash-verifies every referenced blob, returning the
+  same :class:`~repro.runtime.integrity.Violation` shape the campaign
+  and journal auditors use; the distributed soak fails on any of them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.runtime.errors import CheckpointCorruptError, IntegrityError
+from repro.runtime.integrity import Violation, chain_digest
+
+MANIFEST_KIND = "repro-artifact-manifest"
+FORMAT_VERSION = 1
+
+#: Hard cap on one artifact blob (matches the transport's frame budget;
+#: campaign reports are a few hundred KiB at most).
+MAX_BLOB_BYTES = 8 * 1024 * 1024
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def canonical_json(doc: Any) -> bytes:
+    """Deterministic JSON bytes (sorted keys, fixed separators) so one
+    logical document always maps to one blob address."""
+    return json.dumps(doc, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+class ArtifactStore:
+    """One content-addressed blob store + hash-chained manifest."""
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+        self.blob_root = os.path.join(self.root, "blobs")
+        self.manifest_path = os.path.join(self.root, "manifest.jsonl")
+        self._tail: Optional[str] = None
+        self._handle = None
+        #: (job, name, sha256) triples already recorded (idempotency).
+        self._recorded: Optional[set] = None
+
+    # ------------------------------------------------------------------
+    # Blobs
+    # ------------------------------------------------------------------
+    def blob_path(self, sha: str) -> str:
+        return os.path.join(self.blob_root, sha[:2], sha)
+
+    def has_blob(self, sha: str) -> bool:
+        return os.path.exists(self.blob_path(sha))
+
+    def put_bytes(self, data: bytes) -> str:
+        """Store ``data``; returns its sha256 address.  Idempotent: an
+        existing blob is verified against the new bytes instead of being
+        rewritten, so concurrent/retried uploads can never tear it."""
+        if len(data) > MAX_BLOB_BYTES:
+            raise IntegrityError(
+                f"artifact blob of {len(data)} bytes exceeds the "
+                f"{MAX_BLOB_BYTES}-byte store limit")
+        sha = sha256_hex(data)
+        path = self.blob_path(sha)
+        if os.path.exists(path):
+            with open(path, "rb") as handle:
+                existing = handle.read()
+            if sha256_hex(existing) != sha:
+                # The name promises the content; a mismatch means the
+                # stored blob rotted.  Heal it with the good bytes.
+                self._write_blob(path, data)
+            return sha
+        self._write_blob(path, data)
+        return sha
+
+    def _write_blob(self, path: str, data: bytes) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + f".tmp-{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def put_json(self, doc: Any) -> str:
+        return self.put_bytes(canonical_json(doc))
+
+    def get_bytes(self, sha: str) -> bytes:
+        """Fetch a blob, verifying its content against its address."""
+        try:
+            with open(self.blob_path(sha), "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise IntegrityError(
+                f"artifact blob {sha} is missing from the store: {exc}"
+            ) from exc
+        if sha256_hex(data) != sha:
+            raise IntegrityError(
+                f"artifact blob {sha} fails hash verification "
+                "(the stored bytes are not the bytes that were named)")
+        return data
+
+    def get_json(self, sha: str) -> Any:
+        return json.loads(self.get_bytes(sha).decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # The manifest
+    # ------------------------------------------------------------------
+    def _create_manifest(self) -> None:
+        header = {"kind": MANIFEST_KIND, "version": FORMAT_VERSION}
+        header["chain"] = chain_digest("", header)
+        os.makedirs(self.root, exist_ok=True)
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.manifest_path)
+        self._tail = header["chain"]
+        self._recorded = set()
+
+    def _load_manifest(
+        self, repair: bool,
+    ) -> Tuple[List[Dict[str, Any]], Optional[str]]:
+        """Walk the manifest chain: ``(records, defect_reason)``.
+
+        Stops at the first untrustworthy line; ``repair=True`` truncates
+        back to the intact prefix (torn tails are normal crash debris).
+        """
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8",
+                      errors="replace") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise CheckpointCorruptError(
+                f"cannot read artifact manifest {self.manifest_path}: "
+                f"{exc}") from exc
+        lines = raw.split("\n")
+        trailing_ok = lines and lines[-1] == ""
+        if trailing_ok:
+            lines = lines[:-1]
+        if not lines:
+            raise CheckpointCorruptError(
+                f"artifact manifest {self.manifest_path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            header = None
+        if not isinstance(header, dict) \
+                or header.get("kind") != MANIFEST_KIND \
+                or header.get("chain") != chain_digest(
+                    "", {k: v for k, v in header.items() if k != "chain"}):
+            raise CheckpointCorruptError(
+                f"artifact manifest {self.manifest_path} has no valid "
+                "header")
+        records: List[Dict[str, Any]] = []
+        tail = header["chain"]
+        good_bytes = len(lines[0]) + 1
+        defect = None
+        for i, line in enumerate(lines[1:], start=2):
+            truncated = i == len(lines) and not trailing_ok
+            record = None
+            if not truncated:
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    record = None
+            if truncated:
+                defect = f"line {i}: truncated mid-write"
+            elif not isinstance(record, dict):
+                defect = f"line {i}: unparseable manifest record"
+            elif record.get("chain") != chain_digest(tail, record):
+                defect = f"line {i}: integrity chain broken"
+            if defect is not None:
+                if repair:
+                    self.close()
+                    with open(self.manifest_path, "r+",
+                              encoding="utf-8") as handle:
+                        handle.truncate(good_bytes)
+                break
+            records.append(record)
+            tail = record["chain"]
+            good_bytes += len(line) + 1
+        self._tail = tail
+        self._recorded = {
+            (r.get("job"), r.get("name"), r.get("sha256"))
+            for r in records
+        }
+        return records, defect
+
+    def _ensure_open(self) -> None:
+        if self._tail is not None:
+            return
+        if not os.path.exists(self.manifest_path):
+            self._create_manifest()
+        else:
+            self._load_manifest(repair=True)
+
+    def record(self, job: str, name: str, sha: str,
+               size: int) -> Dict[str, Any]:
+        """Durably bind ``job``/``name`` to blob ``sha`` in the manifest.
+
+        Idempotent by ``(job, name, sha256)`` — the at-least-once upload
+        path may call this any number of times and the manifest grows
+        exactly one record.  Returns the (possibly pre-existing) record.
+        """
+        self._ensure_open()
+        assert self._recorded is not None
+        key = (job, name, sha)
+        if key in self._recorded:
+            for existing in self.entries():
+                if (existing.get("job"), existing.get("name"),
+                        existing.get("sha256")) == key:
+                    return existing
+        record = {"event": "artifact", "job": job, "name": name,
+                  "sha256": sha, "size": int(size)}
+        record["chain"] = chain_digest(self._tail or "", record)
+        line = json.dumps(record) + "\n"
+        if self._handle is None:
+            self._handle = open(self.manifest_path, "a", encoding="utf-8")
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._tail = record["chain"]
+        self._recorded.add(key)
+        return record
+
+    def put_artifact(self, job: str, name: str, data: bytes) -> str:
+        """The one-call upload: store the blob, record the manifest
+        entry, return the sha256 address.  Safe to repeat."""
+        sha = self.put_bytes(data)
+        self.record(job, name, sha, size=len(data))
+        return sha
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All intact manifest records (read-only; tolerates a torn
+        tail without repairing it)."""
+        if not os.path.exists(self.manifest_path):
+            return []
+        records, _ = self._load_manifest(repair=False)
+        return records
+
+    def for_job(self, job: str) -> Iterator[Dict[str, Any]]:
+        return (r for r in self.entries() if r.get("job") == job)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # The audit
+    # ------------------------------------------------------------------
+    def verify(self) -> List[Violation]:
+        """Audit the whole store: the manifest chain is intact (at most
+        a torn tail), every recorded blob exists and hash-verifies, and
+        no blob file sits at an address that disagrees with its bytes."""
+        violations: List[Violation] = []
+        if not os.path.exists(self.manifest_path):
+            return violations
+        try:
+            records, defect = self._load_manifest(repair=False)
+        except CheckpointCorruptError as exc:
+            return [Violation("broken-manifest", self.manifest_path,
+                              str(exc))]
+        if defect is not None:
+            violations.append(Violation(
+                "manifest-defect", self.manifest_path, defect))
+        for record in records:
+            sha = str(record.get("sha256") or "")
+            subject = f"{record.get('job')}/{record.get('name')}"
+            try:
+                data = self.get_bytes(sha)
+            except IntegrityError as exc:
+                violations.append(Violation(
+                    "bad-artifact", subject, str(exc)))
+                continue
+            if record.get("size") is not None \
+                    and int(record["size"]) != len(data):
+                violations.append(Violation(
+                    "bad-artifact", subject,
+                    f"manifest records {record['size']} bytes but the "
+                    f"blob holds {len(data)}"))
+        return violations

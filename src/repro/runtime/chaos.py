@@ -76,6 +76,11 @@ CLASS_POINTS = {
     "lease_lost": "service.heartbeat",    # partition: ownership revoked
     "heartbeat_delay": "service.heartbeat",  # renewal outrun by the TTL
     "queue_torn_write": "queue.append",   # torn journal append + SIGKILL
+    "net_partition": "transport.send",    # frame lost: link partitioned
+    "net_delay": "transport.send",        # frame delivered late
+    "net_dup": "transport.send",          # frame delivered twice
+    "net_reorder": "transport.send",      # stale frame arrives out of order
+    "worker_host_loss": "worker.unit",    # the whole worker host dies
 }
 
 FAILURE_CLASSES = tuple(CLASS_POINTS)
@@ -92,6 +97,14 @@ DEFAULT_SOAK_CLASSES = (
 SERVICE_SOAK_CLASSES = (
     "kill", "scheduler_crash", "lease_lost", "heartbeat_delay",
     "queue_torn_write",
+)
+
+#: The classes ``repro serve --soak --distributed`` enables by default:
+#: scheduler death, whole-worker-host death, every network failure mode
+#: (partition, delay, duplication, reordering) and torn journal writes.
+DISTRIBUTED_SOAK_CLASSES = (
+    "scheduler_crash", "worker_host_loss", "net_partition", "net_delay",
+    "net_dup", "net_reorder", "queue_torn_write",
 )
 
 #: Classes allowed to act inside a forked pool worker.
@@ -227,6 +240,8 @@ class ChaosMonkey:
             raise ChaosKill("chaos: simulated SIGKILL mid-append")
         if name == "scheduler_crash":
             raise ChaosKill("chaos: scheduler SIGKILLed mid-tick")
+        if name == "worker_host_loss":
+            raise ChaosKill("chaos: worker host lost mid-campaign")
         if name == "queue_torn_write":
             self._torn_write(ctx)
             raise ChaosKill("chaos: scheduler SIGKILLed mid-journal-append")

@@ -53,6 +53,7 @@ EVENT_TYPES = (
     "cancel",     # the job was withdrawn before finishing
     "fenced",     # a stale-token write was rejected (observability)
     "drain",      # graceful shutdown was requested
+    "worker",     # a remote worker registered over the transport
 )
 
 

@@ -39,9 +39,11 @@ Robustness machinery:
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -109,6 +111,7 @@ class JobState:
     attempts: int = 0        # leases granted (includes crash re-leases)
     failures: int = 0        # fail events (what the retry budget gates)
     reclaims: int = 0        # leases revoked after expiry / crash
+    fenced: int = 0          # stale-token writes rejected for this job
     retry_at: float = 0.0    # backoff gate for the next grant
     summary: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
@@ -126,6 +129,7 @@ class JobState:
             "job": self.spec.job_id, "kind": self.spec.kind,
             "status": self.status, "attempts": self.attempts,
             "failures": self.failures, "reclaims": self.reclaims,
+            "fenced": self.fenced,
             "units_ok": units.get("ok", 0),
             "units_degraded": units.get("degraded", 0),
             "units_quarantined": units.get("quarantined", 0),
@@ -286,6 +290,21 @@ def service_job_fingerprint(spec: JobSpec) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # The scheduler
 # ----------------------------------------------------------------------
+def _locked(method):
+    """Serialize a scheduler method on the service's RLock.
+
+    The transport endpoint dispatches worker RPCs from per-connection
+    threads while the serve loop ticks and runs local jobs; every state
+    transition (and its journal append) must be atomic between them.
+    Re-entrant so locked methods can call each other (``tick`` →
+    ``ingest_spool`` → ``submit``)."""
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self.lock:
+            return method(self, *args, **kwargs)
+    return wrapper
+
+
 class SchedulerService:
     """Crash-safe scheduler over one persistent job journal.
 
@@ -306,6 +325,10 @@ class SchedulerService:
         config.validate()
         self.config = config
         self.clock = clock
+        #: One re-entrant lock covers every state transition; the
+        #: transport endpoint shares it so remote RPCs, the serve loop
+        #: and the local worker serialize against each other.
+        self.lock = threading.RLock()
         self.journal = JobJournal(journal_path)
         self.jobs: Dict[str, JobState] = {}
         self.leases = LeaseTable(clock=clock)
@@ -351,6 +374,7 @@ class SchedulerService:
     # ------------------------------------------------------------------
     # Submission / cancellation
     # ------------------------------------------------------------------
+    @_locked
     def submit(self, spec: JobSpec) -> JobState:
         """Queue one job.  Idempotent by job id (at-least-once
         submission — spool replays after a crash — lands exactly one
@@ -369,6 +393,7 @@ class SchedulerService:
         obs.incr("service.jobs.submitted")
         return state
 
+    @_locked
     def cancel(self, job_id: str) -> bool:
         """Withdraw a job.  A leased job is cancelled too — its worker's
         next heartbeat or completion is fenced off."""
@@ -381,6 +406,7 @@ class SchedulerService:
         obs.incr("service.jobs.cancelled")
         return True
 
+    @_locked
     def ingest_spool(self) -> int:
         """Fold spooled submit/cancel requests into the journal."""
         ingested = 0
@@ -401,6 +427,7 @@ class SchedulerService:
     # ------------------------------------------------------------------
     # Leasing
     # ------------------------------------------------------------------
+    @_locked
     def lease_next(self, worker: str) -> Optional[Tuple[JobState, Lease]]:
         """Grant the oldest ready job to ``worker`` (FIFO over
         submission order, gated by each job's retry backoff)."""
@@ -444,6 +471,7 @@ class SchedulerService:
         obs.incr("service.fenced_writes")
         return False
 
+    @_locked
     def heartbeat(self, job_id: str, token: int) -> bool:
         """Renew the lease; ``False`` means ownership is gone and the
         worker must stop touching the job."""
@@ -486,6 +514,7 @@ class SchedulerService:
         obs.incr("service.leases.reclaimed")
         obs.observe("service.lease_age_seconds", lease.age(self.clock()))
 
+    @_locked
     def reclaim_expired(self) -> List[str]:
         """Revoke every reclaimable lease: past its deadline, or granted
         by a dead incarnation (whose in-process workers died with it)."""
@@ -500,6 +529,7 @@ class SchedulerService:
     # ------------------------------------------------------------------
     # Completion / failure / release
     # ------------------------------------------------------------------
+    @_locked
     def complete(self, job_id: str, token: int,
                  summary: Dict[str, Any]) -> bool:
         if self._fence(job_id, token) is None:
@@ -513,6 +543,7 @@ class SchedulerService:
         obs.incr("service.jobs.done")
         return True
 
+    @_locked
     def fail(self, job_id: str, token: int, error: str) -> bool:
         """One attempt failed: retry with backoff, or quarantine the
         poison job once the budget is spent."""
@@ -539,6 +570,7 @@ class SchedulerService:
             obs.incr("service.jobs.retried")
         return True
 
+    @_locked
     def release(self, job_id: str, token: int) -> bool:
         """Voluntary give-back (graceful drain): the job returns to the
         queue with its checkpointed progress, no backoff, no penalty."""
@@ -555,6 +587,7 @@ class SchedulerService:
     # ------------------------------------------------------------------
     # The scheduler loop surface
     # ------------------------------------------------------------------
+    @_locked
     def tick(self) -> List[str]:
         """One supervision step: ingest spooled requests, reclaim dead
         leases, export queue-health metrics.  The ``scheduler_crash``
@@ -569,19 +602,32 @@ class SchedulerService:
         """Signal-handler-safe drain request (no journal I/O here)."""
         self.drain_requested = True
 
+    @_locked
+    def journal_worker(self, worker: str, host: str, pid: int) -> None:
+        """Durably record a remote worker registration — the journal
+        trail ``repro status --workers`` replays for per-worker health
+        (a re-registration after reconnect appends another event)."""
+        self._append({"event": "worker", "worker": worker,
+                      "host": host, "pid": pid, "epoch": self.epoch})
+        obs.incr("service.workers.registered")
+
+    @_locked
     def drain(self) -> None:
         if not self.draining:
             self.draining = True
             self.drain_requested = True
             self._append({"event": "drain"})
 
+    @_locked
     def queue_depth(self) -> int:
         return sum(1 for s in self.jobs.values()
                    if s.status in ("pending", "leased"))
 
+    @_locked
     def all_terminal(self) -> bool:
         return all(s.terminal for s in self.jobs.values())
 
+    @_locked
     def status_rows(self) -> List[Dict[str, Any]]:
         return [state.row() for state in self.jobs.values()]
 
@@ -648,28 +694,53 @@ def serve_until_drained(
     idle_exit: bool = True,
     sleep: Callable[[float], None] = time.sleep,
     should_drain: Optional[Callable[[], bool]] = None,
+    server: Optional[Any] = None,
+    local_worker: bool = True,
 ) -> str:
-    """The single-process ``repro serve`` loop: tick, run one job,
-    repeat.  Returns ``"drained"`` (SIGTERM honoured) or ``"idle"``
-    (every submitted job terminal and nothing spooled).
+    """The ``repro serve`` loop: tick, run one job, repeat.  Returns
+    ``"drained"`` (SIGTERM honoured) or ``"idle"`` (every submitted
+    job terminal and nothing spooled).
 
     ``should_drain`` is polled at each round; the CLI's SIGTERM handler
     only flips a flag (journal writes from inside a signal handler
     could interleave with an append already in flight), and the loop
     turns the flag into :meth:`SchedulerService.drain` here.
+
+    With a ``server`` (a listening
+    :class:`~repro.runtime.transport.TransportServer`), the moment the
+    drain is journaled every connected remote worker is pushed a drain
+    frame — it checkpoints and releases instead of discovering the
+    shutdown from a dead socket.  ``local_worker=False``
+    (``repro serve --remote-only``) turns this process into a pure
+    scheduler: remote workers do all the running.
     """
-    worker = ServiceWorker(service, worker_id=f"w{os.getpid()}")
+    worker = ServiceWorker(service, worker_id=f"w{os.getpid()}") \
+        if local_worker else None
     while True:
         if service.drain_requested or \
                 (should_drain is not None and should_drain()):
+            was_draining = service.draining
             service.drain()
+            if not was_draining and server is not None:
+                server.broadcast_drain()
         service.tick()
-        if service.draining and not service.leases.live_jobs():
-            return "drained"
-        outcome = None if service.draining else worker.run_next()
-        if outcome is None and not service.draining:
+        if service.draining:
+            if not service.leases.live_jobs():
+                return "drained"
+            # Remote holders are checkpointing and releasing (or their
+            # TTLs are running out); wait instead of spinning.
+            sleep(poll_seconds)
+            continue
+        outcome = worker.run_next() if worker is not None else None
+        if outcome is None:
             if idle_exit and service.all_terminal() \
                     and not service.journal.spooled_requests():
+                if server is not None:
+                    # Tell connected remote workers this scheduler is
+                    # going away *before* the listener closes, so they
+                    # exit "drained" instead of burning their whole
+                    # reconnect budget against a dead address.
+                    server.broadcast_drain()
                 return "idle"
             sleep(poll_seconds)
 
@@ -708,7 +779,9 @@ def replay_events(
         if kind == "start":
             epoch = int(event.get("epoch", epoch))
             continue
-        if kind == "drain":
+        if kind in ("drain", "worker"):
+            # ``worker`` is pure observability (remote registration
+            # trail); neither carries a job id.
             continue
         if kind == "submit":
             if state is not None:
@@ -761,6 +834,7 @@ def replay_events(
             continue
 
         if kind == "fenced":
+            state.fenced += 1
             open_ = open_lease.get(job_id)
             if open_ is not None and open_[0] == token:
                 # Fencing the *current* token is legal exactly when the
@@ -893,7 +967,7 @@ def journal_status(journal_path: str) -> List[Dict[str, Any]]:
     for job_id in sorted(spooled - set(jobs)):
         rows.append({"job": job_id, "kind": "?", "status": "spooled",
                      "attempts": 0, "failures": 0, "reclaims": 0,
-                     "units_ok": 0, "units_degraded": 0,
+                     "fenced": 0, "units_ok": 0, "units_degraded": 0,
                      "units_quarantined": 0, "units_retried": 0,
                      "leaked_threads": 0, "error": None})
     return rows

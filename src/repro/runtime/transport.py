@@ -1,0 +1,894 @@
+"""Fault-tolerant message transport between the scheduler and workers.
+
+PR 6's fencing machinery already assumed workers the scheduler cannot
+see — leases expire, epochs fence, reclaims re-queue — but every worker
+actually lived in the scheduler's process.  This module makes remote
+workers real: a message protocol over length-prefixed JSON frames that
+``repro worker --connect HOST:PORT`` processes use to register, lease
+jobs, stream heartbeats and upload results, built so that *nothing the
+network does* can violate a scheduler invariant.
+
+The robustness contract, layer by layer:
+
+* **Frames** are 4-byte big-endian length + one JSON object.  The
+  decoder (:class:`FrameDecoder`) treats truncated, oversized and
+  garbage input as :class:`~repro.runtime.errors.FrameError` — the
+  server drops that connection and keeps serving; it never crashes.
+* **Every request carries identity**: the worker id, the scheduler
+  epoch the worker last saw, and — for job operations — the lease's
+  fencing token.  The scheduler's existing ``_fence`` check is the
+  final authority; the transport only ever *adds* rejections, never
+  removes them.
+* **Every RPC is at-least-once**: :class:`RpcClient` retries under a
+  deadline with exponential backoff + seeded jitter.  Safe because
+  every request carries an **idempotency key** and the
+  :class:`SchedulerEndpoint` replays the recorded response for a key
+  it has already applied — at-least-once delivery, exactly-once
+  journal effect.
+* **The network is hostile on purpose**: the ``transport.send``
+  injection point drives four deterministic chaos classes —
+  ``net_partition`` (frame lost), ``net_delay`` (delivered late),
+  ``net_dup`` (delivered twice) and ``net_reorder`` (a stale frame
+  arrives after a newer one).  All inert-when-off, like every other
+  chaos hook.
+
+``parse_address`` accepts ``HOST:PORT`` (TCP) and ``unix:/path``
+(UNIX domain socket); :class:`MemoryChannel` swaps the sockets out for
+a deterministic in-process hub so the distributed soak can partition
+links and kill hosts on a virtual clock.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import random
+import socket
+import struct
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.runtime import chaos
+from repro.runtime.errors import (
+    ConfigError,
+    FrameError,
+    ReproError,
+    TransportError,
+)
+
+# ----------------------------------------------------------------------
+# The frame codec
+# ----------------------------------------------------------------------
+#: Hard cap on one frame: far above any real request (job specs and
+#: summaries are KiB-scale; artifact uploads are bounded by the store's
+#: own blob limit) and far below anything that could exhaust memory.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(doc: Dict[str, Any]) -> bytes:
+    """One message as wire bytes: 4-byte big-endian length + JSON."""
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    return _LEN.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte stream.
+
+    ``feed`` buffers partial input and returns every complete frame;
+    a frame that can never become valid (oversized length prefix,
+    non-JSON payload, a payload that is not an object) raises
+    :class:`FrameError` — the caller drops the connection.  The
+    decoder itself never crashes on any byte sequence.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        self._buffer.extend(data)
+        frames: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(
+                    f"frame length prefix {length} exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte limit (corrupt or hostile "
+                    "stream)")
+            if len(self._buffer) < _LEN.size + length:
+                return frames
+            payload = bytes(self._buffer[_LEN.size:_LEN.size + length])
+            del self._buffer[:_LEN.size + length]
+            try:
+                doc = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise FrameError(
+                    f"frame payload is not JSON: {exc}") from exc
+            if not isinstance(doc, dict):
+                raise FrameError(
+                    f"frame payload is {type(doc).__name__}, expected "
+                    "an object")
+            frames.append(doc)
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """One client's RPC budget (what lint CMP006 audits).
+
+    ``max_attempts`` and ``deadline`` jointly bound every call; backoff
+    grows exponentially with seeded jitter so a healed partition is not
+    greeted by a synchronized stampede of retries.
+    """
+
+    max_attempts: int = 5
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    #: Extra random fraction of each backoff (0.5 ⇒ up to +50%).
+    jitter: float = 0.5
+    #: Total wall-clock budget for one call including retries.
+    deadline: float = 30.0
+    #: Per-attempt socket/read timeout.
+    rpc_timeout: float = 5.0
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("transport max_attempts must be >= 1")
+        if self.deadline <= 0 or self.rpc_timeout <= 0:
+            raise ConfigError(
+                "transport deadline and rpc_timeout must be positive")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigError("transport backoff bounds must be >= 0")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ConfigError("transport jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        base = min(self.backoff_base * self.backoff_factor ** max(
+            0, attempt - 1), self.backoff_max)
+        return base * (1.0 + self.jitter * rng.random())
+
+    def lint_doc(self) -> Dict[str, Any]:
+        """This policy as the ``"transport"`` block of a campaigns
+        artifact (see lint rule CMP006)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "deadline": self.deadline,
+            "rpc_timeout": self.rpc_timeout,
+            "backoff_base": self.backoff_base,
+            "backoff_max": self.backoff_max,
+        }
+
+
+# ----------------------------------------------------------------------
+# Channels: how request/response frames actually move
+# ----------------------------------------------------------------------
+def parse_address(address: str) -> Tuple[str, Any]:
+    """``HOST:PORT`` → ``("tcp", (host, port))``; ``unix:/path`` →
+    ``("unix", path)``."""
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise ConfigError("unix transport address needs a path")
+        return "unix", path
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ConfigError(
+            f"transport address {address!r} is neither HOST:PORT nor "
+            "unix:/path")
+    try:
+        return "tcp", (host, int(port))
+    except ValueError as exc:
+        raise ConfigError(
+            f"transport address {address!r} has a non-integer port"
+        ) from exc
+
+
+def format_address(family: str, addr: Any) -> str:
+    if family == "unix":
+        return f"unix:{addr}"
+    return f"{addr[0]}:{addr[1]}"
+
+
+class SocketChannel:
+    """One worker's connection to a real scheduler socket.
+
+    Lazily connects, reconnects on the next use after any failure, and
+    surfaces every socket-level problem as :class:`TransportError` so
+    the :class:`RpcClient` retry loop owns the recovery policy.
+    Unsolicited ``{"event": "drain"}`` frames from the server (the
+    SIGTERM broadcast) set :attr:`drain_seen` instead of being
+    mistaken for responses.
+    """
+
+    def __init__(self, address: str, timeout: float = 5.0):
+        self.family, self.addr = parse_address(address)
+        self.timeout = timeout
+        self.drain_seen = False
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder()
+
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        try:
+            if self.family == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.addr)
+            else:
+                sock = socket.create_connection(
+                    self.addr, timeout=self.timeout)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to scheduler at "
+                f"{format_address(self.family, self.addr)}: {exc}"
+            ) from exc
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        return sock
+
+    def send_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame and block for the frame answering its id."""
+        sock = self._connect()
+        try:
+            sock.sendall(encode_frame(request))
+            while True:
+                for frame in self._read_frames(sock):
+                    if frame.get("event") == "drain":
+                        self.drain_seen = True
+                        continue
+                    if frame.get("id") == request.get("id"):
+                        return frame
+                    # A response to an earlier, timed-out attempt:
+                    # stale by definition — drop it.
+        except FrameError:
+            self.close()
+            raise
+        except OSError as exc:
+            self.close()
+            raise TransportError(
+                f"connection to scheduler lost mid-call: {exc}"
+            ) from exc
+
+    def _read_frames(self, sock: socket.socket) -> List[Dict[str, Any]]:
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                raise TransportError(
+                    "scheduler closed the connection mid-call")
+            frames = self._decoder.feed(data)
+            if frames:
+                return frames
+
+    def poll_event(self) -> bool:
+        """Non-blockingly drain unsolicited frames (e.g. the drain
+        broadcast) while the worker is between requests."""
+        if self._sock is None:
+            return self.drain_seen
+        try:
+            self._sock.settimeout(0.0)
+            data = self._sock.recv(65536)
+            if data:
+                for frame in self._decoder.feed(data):
+                    if frame.get("event") == "drain":
+                        self.drain_seen = True
+        except (BlockingIOError, socket.timeout, InterruptedError):
+            pass
+        except (OSError, FrameError):
+            self.close()
+        finally:
+            if self._sock is not None:
+                self._sock.settimeout(self.timeout)
+        return self.drain_seen
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+
+class MemoryChannel:
+    """The soak's deterministic stand-in for a socket: requests go
+    straight to a hub object exposing ``dispatch(request) -> response``
+    (raising :class:`TransportError` while the scheduler is down)."""
+
+    def __init__(self, hub: Any):
+        self.hub = hub
+        self.drain_seen = False
+
+    def send_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        response = self.hub.dispatch(request)
+        if response.get("draining"):
+            self.drain_seen = True
+        return response
+
+    def poll_event(self) -> bool:
+        return self.drain_seen
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# The RPC client
+# ----------------------------------------------------------------------
+class RpcClient:
+    """At-least-once request/response with exactly-once server effect.
+
+    Every call gets a fresh idempotency id (``req-<worker>-<n>``) and
+    is retried under :class:`RetryPolicy` whenever the channel raises
+    :class:`TransportError`.  The ``transport.send`` chaos point fires
+    here, *before* the frame leaves:
+
+    * ``net_partition`` — the frame is lost; the attempt fails.
+    * ``net_delay`` — the frame is delivered late (the injected
+      ``sleep`` runs first, long enough to outrun lease TTLs).
+    * ``net_dup`` — the frame is delivered twice; the endpoint's
+      idempotency cache must absorb the duplicate.
+    * ``net_reorder`` — the *previous* request is re-delivered first,
+      modelling an old frame overtaking a new one; fencing tokens and
+      the idempotency cache must absorb it.
+    """
+
+    def __init__(
+        self,
+        channel: Any,
+        worker_id: str,
+        policy: RetryPolicy = RetryPolicy(),
+        clock: Callable[[], float] = time.time,
+        sleep: Callable[[float], None] = time.sleep,
+        seed: int = 0,
+    ):
+        policy.validate()
+        self.channel = channel
+        self.worker_id = worker_id
+        self.policy = policy
+        self.clock = clock
+        self.sleep = sleep
+        self.rng = random.Random((seed, worker_id).__repr__())
+        #: The scheduler epoch this client last saw; quoted on every
+        #: request so the server can spot a worker from a past life.
+        self.epoch: Optional[int] = None
+        #: Set when a response reveals the scheduler restarted (epoch
+        #: moved) — the worker should re-register.
+        self.epoch_changed = False
+        self._counter = 0
+        self._last_request: Optional[Dict[str, Any]] = None
+        self.stats = {"sent": 0, "retries": 0, "partitions": 0,
+                      "delayed": 0, "duplicated": 0, "reordered": 0}
+
+    @property
+    def drain_seen(self) -> bool:
+        return bool(getattr(self.channel, "drain_seen", False))
+
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        self._counter += 1
+        request: Dict[str, Any] = {
+            "op": op,
+            "id": f"req-{self.worker_id}-{self._counter}",
+            "worker": self.worker_id,
+        }
+        if self.epoch is not None:
+            request["epoch"] = self.epoch
+        request.update(fields)
+
+        deadline = self.clock() + self.policy.deadline
+        attempt = 0
+        last_error: Optional[BaseException] = None
+        while True:
+            attempt += 1
+            if attempt > self.policy.max_attempts \
+                    or self.clock() > deadline:
+                raise TransportError(
+                    f"rpc {op!r} exhausted its retry budget "
+                    f"({attempt - 1} attempts): {last_error}")
+            try:
+                response = self._attempt(request)
+            except TransportError as exc:
+                last_error = exc
+                self.stats["retries"] += 1
+                obs.incr("transport.retries")
+                self.sleep(self.policy.backoff(attempt, self.rng))
+                continue
+            self._last_request = request
+            self.stats["sent"] += 1
+            obs.incr("transport.sent")
+            self._note_epoch(response)
+            return response
+
+    def _attempt(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        fired = chaos.inject("transport.send", op=request["op"],
+                             worker=self.worker_id)
+        if fired == "net_partition":
+            self.stats["partitions"] += 1
+            obs.incr("transport.partitions")
+            raise TransportError(
+                f"chaos: link partitioned, frame {request['id']} lost")
+        if fired == "net_delay":
+            self.stats["delayed"] += 1
+            self.sleep(self.policy.rpc_timeout)
+        if fired == "net_reorder" and self._last_request is not None:
+            # An old frame overtakes this one: the peer sees the stale
+            # request (again) first.  Its effect must be nil.
+            self.stats["reordered"] += 1
+            try:
+                self.channel.send_request(self._last_request)
+            except TransportError:
+                pass
+        if fired == "net_dup":
+            # Delivered twice: the first copy's effect lands, then the
+            # real exchange below replays it via the idempotency cache.
+            self.stats["duplicated"] += 1
+            try:
+                self.channel.send_request(request)
+            except TransportError:
+                pass
+        return self.channel.send_request(request)
+
+    def _note_epoch(self, response: Dict[str, Any]) -> None:
+        epoch = response.get("epoch")
+        if isinstance(epoch, int):
+            if self.epoch is not None and epoch != self.epoch:
+                self.epoch_changed = True
+            self.epoch = epoch
+
+    def close(self) -> None:
+        self.channel.close()
+
+
+# ----------------------------------------------------------------------
+# The scheduler-side endpoint
+# ----------------------------------------------------------------------
+#: Ops whose effect must land exactly once on the journal; their
+#: responses are cached by request id so retried/duplicated frames
+#: replay the recorded answer instead of re-applying.
+MUTATING_OPS = ("register", "lease", "heartbeat", "complete", "fail",
+                "release", "artifact")
+
+
+class SchedulerEndpoint:
+    """Dispatches worker requests into a :class:`SchedulerService`.
+
+    Thread-safe (the socket server dispatches from per-connection
+    threads while the serve loop ticks), defensive (malformed requests
+    get an error response, never an exception), and idempotent (an
+    already-seen request id returns its recorded response).  The only
+    exception allowed out is :class:`~repro.runtime.chaos.ChaosKill` —
+    a simulated scheduler death must not be absorbed.
+    """
+
+    def __init__(self, service: Any, artifacts: Any = None,
+                 idempotency_limit: int = 4096):
+        self.service = service
+        self.artifacts = artifacts
+        # Share the scheduler's own lock: one RPC's journal effect and
+        # its idempotency-cache record commit atomically with respect
+        # to the serve loop and every other connection thread.
+        self._lock = getattr(service, "lock", None) or threading.RLock()
+        self._responses: "OrderedDict[str, Dict[str, Any]]" = \
+            OrderedDict()
+        self._idempotency_limit = idempotency_limit
+        #: Volatile per-worker health: worker id → registration doc +
+        #: last-seen stamp (the durable trail lives in the journal's
+        #: ``worker``/``lease``/``renew`` events).
+        self.workers: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request is not an object"}
+        op = request.get("op")
+        request_id = request.get("id")
+        with self._lock:
+            if isinstance(request_id, str) and op in MUTATING_OPS:
+                cached = self._responses.get(request_id)
+                if cached is not None:
+                    obs.incr("transport.idempotent_replays")
+                    return dict(cached)
+            try:
+                response = self._apply(op, request)
+            except chaos.ChaosKill:
+                raise
+            except ReproError as exc:
+                response = {"ok": False,
+                            "error": f"{type(exc).__name__}: {exc}"}
+            except Exception as exc:  # noqa: BLE001 — never crash
+                response = {"ok": False,
+                            "error": f"{type(exc).__name__}: {exc}"}
+            response.setdefault("id", request_id)
+            response.setdefault("epoch", self.service.epoch)
+            response.setdefault(
+                "draining",
+                bool(self.service.draining
+                     or self.service.drain_requested))
+            if isinstance(request_id, str) and op in MUTATING_OPS:
+                self._responses[request_id] = dict(response)
+                while len(self._responses) > self._idempotency_limit:
+                    self._responses.popitem(last=False)
+            obs.incr("transport.requests")
+            return response
+
+    def _touch(self, worker: Optional[Any]) -> None:
+        if isinstance(worker, str) and worker in self.workers:
+            self.workers[worker]["last_seen"] = self.service.clock()
+
+    # ------------------------------------------------------------------
+    def _apply(self, op: Any, request: Dict[str, Any]) -> Dict[str, Any]:
+        worker = request.get("worker")
+        self._touch(worker)
+        if op == "ping":
+            return {"ok": True}
+        if op == "register":
+            return self._op_register(request)
+        if op == "lease":
+            return self._op_lease(request)
+        if op == "heartbeat":
+            job, token = self._job_token(request)
+            ok = self.service.heartbeat(job, token)
+            return {"ok": ok}
+        if op == "complete":
+            job, token = self._job_token(request)
+            summary = request.get("summary")
+            if not isinstance(summary, dict):
+                return {"ok": False,
+                        "error": "complete needs a summary object"}
+            ok = self.service.complete(job, token, summary)
+            return {"ok": ok, "fenced": not ok}
+        if op == "fail":
+            job, token = self._job_token(request)
+            ok = self.service.fail(job, token,
+                                   str(request.get("error", "")))
+            return {"ok": ok, "fenced": not ok}
+        if op == "release":
+            job, token = self._job_token(request)
+            ok = self.service.release(job, token)
+            return {"ok": ok, "fenced": not ok}
+        if op == "artifact":
+            return self._op_artifact(request)
+        if op == "status":
+            return {"ok": True, "rows": self.service.status_rows()}
+        if op == "workers":
+            return {"ok": True, "workers": self.connected_workers()}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    @staticmethod
+    def _job_token(request: Dict[str, Any]) -> Tuple[str, int]:
+        job = request.get("job")
+        token = request.get("token")
+        if not isinstance(job, str) or not job:
+            raise ConfigError("request needs a job id")
+        if not isinstance(token, int):
+            raise ConfigError("request needs an integer fencing token")
+        return job, token
+
+    def _op_register(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        worker = request.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise ConfigError("register needs a worker id")
+        doc = {
+            "worker": worker,
+            "host": str(request.get("host", "?")),
+            "pid": int(request.get("pid", 0)),
+            "registered_at": self.service.clock(),
+            "last_seen": self.service.clock(),
+        }
+        # Durable observability trail: who connected, from where.
+        self.service.journal_worker(worker, doc["host"], doc["pid"])
+        self.workers[worker] = doc
+        obs.incr("transport.workers.registered")
+        config = self.service.config
+        return {
+            "ok": True,
+            "lease_ttl": config.lease_ttl,
+            "heartbeat_interval": config.heartbeat_interval,
+        }
+
+    def _op_lease(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        worker = request.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise ConfigError("lease needs a worker id")
+        leased = self.service.lease_next(worker)
+        if leased is None:
+            return {"ok": True, "job": None}
+        state, lease = leased
+        return {
+            "ok": True,
+            "job": {
+                "spec": state.spec.to_json(),
+                "token": lease.token,
+                "epoch": lease.epoch,
+                "attempt": state.attempts,
+                "expires": lease.expires_at,
+            },
+        }
+
+    def _op_artifact(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self.artifacts is None:
+            return {"ok": False,
+                    "error": "this scheduler has no artifact store"}
+        job = request.get("job")
+        name = request.get("name")
+        if not isinstance(job, str) or not isinstance(name, str) \
+                or not job or not name:
+            raise ConfigError("artifact upload needs job and name")
+        try:
+            data = base64.b64decode(str(request.get("data", "")),
+                                    validate=True)
+        except (ValueError, TypeError) as exc:
+            raise ConfigError(
+                f"artifact data is not valid base64: {exc}") from exc
+        expected = request.get("sha256")
+        sha = self.artifacts.put_artifact(job, name, data)
+        if isinstance(expected, str) and expected and expected != sha:
+            return {"ok": False, "sha256": sha,
+                    "error": "uploaded bytes hash to a different "
+                             "address than the client claimed"}
+        obs.incr("transport.artifacts.uploaded")
+        return {"ok": True, "sha256": sha, "size": len(data)}
+
+    # ------------------------------------------------------------------
+    def connected_workers(self) -> List[Dict[str, Any]]:
+        """Live registry rows (volatile; ``repro status --workers``
+        reads the durable journal trail instead)."""
+        with self._lock:
+            now = self.service.clock()
+            return [
+                {
+                    "worker": doc["worker"], "host": doc["host"],
+                    "pid": doc["pid"],
+                    "last_seen_age": round(
+                        max(0.0, now - doc["last_seen"]), 3),
+                }
+                for doc in self.workers.values()
+            ]
+
+
+# ----------------------------------------------------------------------
+# The socket server
+# ----------------------------------------------------------------------
+class TransportServer:
+    """Accepts worker connections and feeds frames to an endpoint.
+
+    One accept thread plus one thread per connection — workers hold a
+    long-lived connection and block on responses, so a thread apiece is
+    the simple, honest model at this fleet size.  A connection that
+    sends garbage (:class:`FrameError`) is dropped; the server and the
+    scheduler keep running.  ``broadcast_drain`` pushes an unsolicited
+    drain frame to every live connection so remote workers learn about
+    SIGTERM from the scheduler, not from a dead socket.
+    """
+
+    def __init__(self, endpoint: SchedulerEndpoint, address: str,
+                 backlog: int = 16):
+        self.endpoint = endpoint
+        self.family, addr = parse_address(address)
+        if self.family == "unix":
+            try:
+                os.unlink(addr)
+            except OSError:
+                pass
+            self._listener = socket.socket(socket.AF_UNIX,
+                                           socket.SOCK_STREAM)
+            self._listener.bind(addr)
+            self._bound: Any = addr
+        else:
+            self._listener = socket.socket(socket.AF_INET,
+                                           socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET,
+                                      socket.SO_REUSEADDR, 1)
+            self._listener.bind(addr)
+            self._bound = self._listener.getsockname()
+        self._listener.listen(backlog)
+        self._listener.settimeout(0.2)
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self._connections: Dict[int, socket.socket] = {}
+        self._threads: List[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-transport-accept",
+            daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> str:
+        return format_address(self.family, self._bound)
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            conn.settimeout(0.2)
+            with self._lock:
+                self._connections[conn.fileno()] = conn
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="repro-transport-conn", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        key = conn.fileno()
+        decoder = FrameDecoder()
+        try:
+            while not self._stopping.is_set():
+                try:
+                    data = conn.recv(65536)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                if not data:
+                    return  # peer closed cleanly
+                try:
+                    frames = decoder.feed(data)
+                except FrameError:
+                    obs.incr("transport.bad_frames")
+                    return  # hostile/corrupt peer: drop it, keep serving
+                for frame in frames:
+                    response = self.endpoint.dispatch(frame)
+                    try:
+                        conn.sendall(encode_frame(response))
+                    except (OSError, FrameError):
+                        return
+        finally:
+            with self._lock:
+                self._connections.pop(key, None)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def broadcast_drain(self) -> int:
+        """Best-effort drain notice to every live connection."""
+        frame = encode_frame({"event": "drain"})
+        with self._lock:
+            conns = list(self._connections.values())
+        notified = 0
+        for conn in conns:
+            try:
+                conn.sendall(frame)
+                notified += 1
+            except OSError:
+                pass
+        obs.incr("transport.drain_broadcasts")
+        return notified
+
+    def connection_count(self) -> int:
+        with self._lock:
+            return len(self._connections)
+
+    def stop(self) -> None:
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._connections.values())
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        if self.family == "unix":
+            try:
+                os.unlink(self._bound)
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Per-worker health from the durable journal trail
+# ----------------------------------------------------------------------
+def journal_worker_rows(journal_path: str) -> List[Dict[str, Any]]:
+    """Rebuild per-worker transport health by replaying the journal.
+
+    Read-only (safe against a live scheduler): ``worker`` events
+    contribute identity (host, pid, registrations), ``lease`` events
+    bind each ``(job, token)`` to its holder, and every later
+    token-quoting event (renew/complete/fail/fenced/reclaim) is
+    attributed back through that binding — so fenced writes count
+    against the worker whose stale token was rejected, and
+    ``last-seen age`` is measured against the journal's newest event.
+    """
+    from repro.runtime.queue import JobJournal
+
+    _, events, _ = JobJournal(journal_path).load(repair=False)
+    rows: Dict[str, Dict[str, Any]] = {}
+    holder: Dict[Tuple[str, int], str] = {}
+    latest = 0.0
+
+    def row(worker: str) -> Dict[str, Any]:
+        if worker not in rows:
+            rows[worker] = {
+                "worker": worker, "host": "-", "pid": 0,
+                "registrations": 0, "leases": 0, "done": 0,
+                "failed": 0, "released": 0, "fenced": 0,
+                "reclaimed": 0, "last_seen": None,
+            }
+        return rows[worker]
+
+    def touch(doc: Dict[str, Any], when: Any) -> None:
+        if isinstance(when, (int, float)):
+            if doc["last_seen"] is None or when > doc["last_seen"]:
+                doc["last_seen"] = float(when)
+
+    for event in events:
+        kind = event.get("event")
+        when = event.get("time")
+        if isinstance(when, (int, float)):
+            latest = max(latest, float(when))
+        if kind == "worker":
+            doc = row(str(event.get("worker", "?")))
+            doc["host"] = str(event.get("host", "-"))
+            doc["pid"] = int(event.get("pid") or 0)
+            doc["registrations"] += 1
+            touch(doc, when)
+        elif kind == "lease":
+            worker = str(event.get("worker", "?"))
+            doc = row(worker)
+            doc["leases"] += 1
+            touch(doc, when)
+            job, token = event.get("job"), event.get("token")
+            if isinstance(job, str) and isinstance(token, int):
+                holder[(job, token)] = worker
+        elif kind in ("renew", "complete", "fail", "release",
+                      "fenced", "reclaim"):
+            worker = holder.get((event.get("job"), event.get("token")))
+            if worker is None:
+                continue
+            doc = row(worker)
+            if kind == "complete":
+                doc["done"] += 1
+            elif kind == "fail":
+                doc["failed"] += 1
+            elif kind == "release":
+                doc["released"] += 1
+            elif kind == "fenced":
+                doc["fenced"] += 1
+            elif kind == "reclaim":
+                # Scheduler-originated revocation: counts against the
+                # worker but is not evidence the worker is alive.
+                doc["reclaimed"] += 1
+                continue
+            touch(doc, when)
+
+    for doc in rows.values():
+        if doc["last_seen"] is None:
+            doc["last_seen_age"] = None
+        else:
+            doc["last_seen_age"] = round(
+                max(0.0, latest - doc["last_seen"]), 3)
+        del doc["last_seen"]
+    return sorted(rows.values(), key=lambda d: d["worker"])

@@ -1,0 +1,696 @@
+"""Remote campaign workers and the distributed chaos soak.
+
+:class:`RemoteWorker` is the other half of
+:mod:`repro.runtime.transport`: a process (usually on another host)
+that registers with a scheduler, leases jobs, runs their campaigns
+with heartbeat renewal, uploads the result report into the scheduler's
+content-addressed artifact store, and completes — every step an
+at-least-once RPC quoting the lease's fencing token, so nothing the
+worker does after losing ownership can corrupt a job.
+
+The partition discipline:
+
+* A heartbeat that cannot be delivered means ownership is *unknown* —
+  the worker stops immediately (:class:`LeaseLostError` semantics,
+  same as a fenced renewal) and records the ``(job, token)`` pair as
+  **suspect**.
+* On heal, the suspect tokens are flushed with ``release`` RPCs before
+  any new lease: if the lease meanwhile expired and was re-granted the
+  scheduler fences the stale token (journaled as ``fenced``); if it is
+  somehow still current the release legitimately re-queues the job.
+  Either way the journal shows exactly what happened.
+* A completed campaign's report is uploaded *before* ``complete`` is
+  sent, and both are idempotent — a worker that crashes or partitions
+  between the two leaves the system re-runnable from the checkpoint
+  with no duplicate artifacts and no double completion.
+
+:func:`run_distributed_soak` (``repro serve --soak --distributed``)
+drives a fleet of these workers against one scheduler entirely
+in-process on a virtual clock: the seeded chaos monkey partitions
+links, delays/duplicates/reorders frames, SIGKILLs the scheduler and
+whole worker hosts — and every campaign must still land terminal with
+a report identical to its no-chaos golden twin and a hash-verified
+artifact trail.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import socket as socket_module
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.runtime import chaos
+from repro.runtime.artifacts import ArtifactStore, canonical_json, \
+    sha256_hex
+from repro.runtime.errors import (
+    CampaignError,
+    DrainRequested,
+    LeaseLostError,
+    ReproError,
+    TransportError,
+)
+from repro.runtime.integrity import Violation
+from repro.runtime.service import (
+    JOB_KINDS,
+    JobSpec,
+    SchedulerService,
+    ServiceConfig,
+    _VirtualClock,
+    report_digest,
+    service_job_units,
+    verify_journal,
+)
+from repro.runtime.transport import (
+    MemoryChannel,
+    RetryPolicy,
+    RpcClient,
+    SchedulerEndpoint,
+    SocketChannel,
+)
+
+
+# ----------------------------------------------------------------------
+# The remote worker
+# ----------------------------------------------------------------------
+class RemoteWorker:
+    """One worker process's protocol state machine over an RpcClient."""
+
+    def __init__(self, client: RpcClient, host: Optional[str] = None,
+                 pid: Optional[int] = None):
+        self.client = client
+        self.worker_id = client.worker_id
+        self.host = host or socket_module.gethostname()
+        self.pid = pid if pid is not None else os.getpid()
+        self.registered = False
+        self.lease_ttl: float = 30.0
+        self.heartbeat_interval: float = 5.0
+        #: job → token pairs whose last mutating RPC may not have
+        #: landed (partition mid-call); flushed with ``release`` on
+        #: heal so the journal records their fate (``fenced`` once the
+        #: token has gone stale).
+        self._suspect: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def register(self) -> Dict[str, Any]:
+        response = self.client.call("register", host=self.host,
+                                    pid=self.pid)
+        if not response.get("ok"):
+            raise TransportError(
+                f"scheduler refused registration: "
+                f"{response.get('error')}")
+        self.lease_ttl = float(response.get("lease_ttl")
+                               or self.lease_ttl)
+        self.heartbeat_interval = float(
+            response.get("heartbeat_interval") or self.heartbeat_interval)
+        self.registered = True
+        self.client.epoch_changed = False
+        self.flush_suspects()
+        return response
+
+    def flush_suspects(self) -> None:
+        """Settle every suspect token with the scheduler.  Raises
+        :class:`TransportError` if the link is still down (the pairs
+        stay suspect for the next heal)."""
+        for job_id, token in list(self._suspect.items()):
+            self.client.call("release", job=job_id, token=token)
+            del self._suspect[job_id]
+            obs.incr("worker.suspects_flushed")
+
+    # ------------------------------------------------------------------
+    def run_next(self) -> Optional[str]:
+        """Lease and run one job over the transport.  Returns ``None``
+        (nothing ready) or the outcome: ``done`` / ``failed`` /
+        ``lost`` / ``fenced`` / ``released``."""
+        if self.client.epoch_changed or not self.registered:
+            self.register()  # the scheduler restarted under us
+        self.flush_suspects()
+        if self.client.drain_seen:
+            raise DrainRequested("scheduler drain broadcast received")
+        response = self.client.call("lease")
+        job_doc = response.get("job")
+        if not job_doc:
+            return None
+        spec = JobSpec.from_json(job_doc.get("spec") or {})
+        token = int(job_doc["token"])
+        return self._run_leased(spec, token)
+
+    def _run_leased(self, spec: JobSpec, token: int) -> str:
+        job_id = spec.job_id
+
+        def heartbeat() -> bool:
+            chaos.inject("worker.unit", worker=self.worker_id,
+                         job=job_id)
+            if self.client.drain_seen:
+                raise DrainRequested("scheduler drain broadcast")
+            try:
+                response = self.client.call("heartbeat", job=job_id,
+                                            token=token)
+            except TransportError:
+                # Ownership unknown: stop now, settle the token later.
+                self._suspect[job_id] = token
+                obs.incr("worker.heartbeats_lost")
+                return False
+            if response.get("draining"):
+                raise DrainRequested("scheduler is draining")
+            return bool(response.get("ok"))
+
+        span = obs.span("worker.job", key=job_id,
+                        worker=self.worker_id, kind=spec.kind)
+        with span:
+            try:
+                summary = JOB_KINDS[spec.kind](spec, heartbeat)
+            except LeaseLostError:
+                span.set(outcome="lost")
+                return "lost"
+            except DrainRequested:
+                try:
+                    self.client.call("release", job=job_id, token=token)
+                except TransportError:
+                    self._suspect[job_id] = token
+                span.set(outcome="released")
+                return "released"
+            except ReproError as exc:
+                return self._report_failure(span, job_id, token, exc)
+            except Exception as exc:  # noqa: BLE001 — poison-job net
+                return self._report_failure(span, job_id, token, exc)
+            try:
+                sha = self._upload_report(spec)
+                if sha is not None:
+                    summary = dict(summary)
+                    summary["artifact"] = sha
+                response = self.client.call(
+                    "complete", job=job_id, token=token, summary=summary)
+            except TransportError:
+                # The upload is idempotent and ``complete`` carries an
+                # idempotency key; whichever landed, the journal stays
+                # consistent and the release-on-heal settles the rest.
+                self._suspect[job_id] = token
+                span.set(outcome="lost")
+                return "lost"
+            outcome = "done" if response.get("ok") else "fenced"
+            span.set(outcome=outcome)
+            obs.incr(f"worker.jobs.{outcome}")
+            return outcome
+
+    def _report_failure(self, span: Any, job_id: str, token: int,
+                        exc: BaseException) -> str:
+        try:
+            response = self.client.call(
+                "fail", job=job_id, token=token,
+                error=f"{type(exc).__name__}: {exc}")
+        except TransportError:
+            self._suspect[job_id] = token
+            span.set(outcome="lost")
+            return "lost"
+        outcome = "failed" if response.get("ok") else "fenced"
+        span.set(outcome=outcome)
+        return outcome
+
+    def _upload_report(self, spec: JobSpec) -> Optional[str]:
+        """Push the finished campaign's per-unit rows into the
+        scheduler's artifact store (content-addressed: a retry or a
+        re-run uploads the identical blob to the identical address)."""
+        rows = campaign_report_rows(spec)
+        if rows is None:
+            return None
+        data = canonical_json({
+            "kind": "campaign-report", "job": spec.job_id,
+            "rows": rows,
+        })
+        response = self.client.call(
+            "artifact", job=spec.job_id, name="report.json",
+            data=base64.b64encode(data).decode("ascii"),
+            sha256=sha256_hex(data))
+        if not response.get("ok"):
+            return None  # scheduler without a store: summary still lands
+        obs.incr("worker.artifacts_uploaded")
+        return response.get("sha256")
+
+    def close(self) -> None:
+        self.client.close()
+
+
+def campaign_report_rows(spec: JobSpec) -> Optional[List[List[Any]]]:
+    """The sorted ``[unit_id, status, value]`` rows of a job's
+    checkpoint — the content the golden-twin audit compares."""
+    from repro.runtime.checkpoint import CheckpointStore
+    from repro.runtime.runner import UnitResult
+
+    if not spec.checkpoint:
+        return None
+    store = CheckpointStore(spec.checkpoint)
+    if not store.exists():
+        return None
+    _, records = store.load()
+    rows = []
+    for record in records.values():
+        result = UnitResult.from_record(record)
+        rows.append([result.unit_id, result.status, result.value])
+    return sorted(rows)
+
+
+def golden_report_rows(report: Any) -> List[List[Any]]:
+    return sorted([r.unit_id, r.status, r.value]
+                  for r in report.results.values())
+
+
+# ----------------------------------------------------------------------
+# The worker CLI loop (``repro worker --connect``)
+# ----------------------------------------------------------------------
+def run_worker(
+    address: str,
+    worker_id: Optional[str] = None,
+    policy: RetryPolicy = RetryPolicy(),
+    reconnect_seconds: float = 60.0,
+    max_idle: Optional[int] = None,
+    poll_seconds: float = 0.5,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Connect to a scheduler and work until drained or idle.
+
+    Outlives transient scheduler outages: any transport failure is
+    retried against a fresh connection until ``reconnect_seconds`` of
+    continuous unreachability, so a ``kill -9``-ed and restarted
+    scheduler picks its workers straight back up (they re-register,
+    their stale tokens get fenced, their checkpoints resume).
+    """
+    worker_id = worker_id or \
+        f"{socket_module.gethostname()}-{os.getpid()}"
+    channel = SocketChannel(address, timeout=policy.rpc_timeout)
+    client = RpcClient(channel, worker_id, policy=policy, seed=seed)
+    worker = RemoteWorker(client)
+    counts: Dict[str, int] = {}
+    idle_rounds = 0
+    last_contact = time.monotonic()
+    status = "drained"
+
+    def say(text: str) -> None:
+        if progress is not None:
+            progress(text)
+
+    say(f"worker {worker_id}: connecting to {address}")
+    try:
+        while True:
+            channel.poll_event()
+            if client.drain_seen:
+                say(f"worker {worker_id}: drain received, exiting")
+                break
+            try:
+                outcome = worker.run_next()
+            except DrainRequested:
+                say(f"worker {worker_id}: drain received, exiting")
+                break
+            except TransportError as exc:
+                if time.monotonic() - last_contact > reconnect_seconds:
+                    say(f"worker {worker_id}: scheduler unreachable "
+                        f"for {reconnect_seconds:.0f}s, giving up")
+                    status = "disconnected"
+                    break
+                say(f"worker {worker_id}: transport error ({exc}); "
+                    "reconnecting")
+                channel.close()
+                time.sleep(poll_seconds)
+                continue
+            last_contact = time.monotonic()
+            if outcome is None:
+                idle_rounds += 1
+                if max_idle is not None and idle_rounds >= max_idle:
+                    status = "idle"
+                    break
+                time.sleep(poll_seconds)
+            else:
+                idle_rounds = 0
+                counts[outcome] = counts.get(outcome, 0) + 1
+                say(f"worker {worker_id}: job {outcome} "
+                    f"(totals: {counts})")
+    finally:
+        worker.close()
+    return {"worker": worker_id, "status": status, "outcomes": counts}
+
+
+# ----------------------------------------------------------------------
+# The distributed soak
+# ----------------------------------------------------------------------
+class _SoakHub:
+    """The in-process 'network': routes worker requests to the current
+    scheduler endpoint, turns a scheduler death mid-request into the
+    :class:`TransportError` a real socket would raise — the workers
+    survive it, unlike PR 6's single-process soak."""
+
+    def __init__(self) -> None:
+        self.endpoint: Optional[SchedulerEndpoint] = None
+        self.service: Optional[SchedulerService] = None
+        self.on_scheduler_death: Optional[Callable[[], None]] = None
+
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self.endpoint is None:
+            raise TransportError("scheduler is down")
+        try:
+            return self.endpoint.dispatch(request)
+        except chaos.ChaosKill as kill:
+            self.kill_scheduler()
+            raise TransportError(
+                f"connection lost: scheduler died mid-request ({kill})"
+            ) from kill
+
+    def kill_scheduler(self) -> None:
+        if self.service is not None:
+            self.service.close()
+        self.service = None
+        self.endpoint = None
+        if self.on_scheduler_death is not None:
+            self.on_scheduler_death()
+
+
+@dataclass
+class DistributedSoakReport:
+    """Aggregate outcome of ``repro serve --soak --distributed``."""
+
+    seed: int
+    classes: Tuple[str, ...]
+    n_jobs: int
+    n_workers: int
+    scheduler_crashes: int = 0
+    worker_crashes: int = 0
+    partitions: int = 0
+    retries: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    reclaims: int = 0
+    fenced: int = 0
+    releases: int = 0
+    leases: int = 0
+    registrations: int = 0
+    artifacts_verified: int = 0
+    injections: Dict[str, int] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def n_disruptions(self) -> int:
+        return (self.scheduler_crashes + self.worker_crashes
+                + self.partitions + self.reclaims)
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        injected = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(self.injections.items()) if count)
+        return (
+            f"{self.n_jobs} campaigns over {self.n_workers} workers: "
+            f"{self.scheduler_crashes} scheduler crashes, "
+            f"{self.worker_crashes} worker-host losses, "
+            f"{self.partitions} partitioned frames, "
+            f"{self.reclaims} lease reclaims, {self.fenced} fenced "
+            f"writes, {self.artifacts_verified} artifacts verified, "
+            f"{len(self.violations)} invariant violations "
+            f"[{injected or 'nothing injected'}]"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "classes": list(self.classes),
+            "jobs": self.n_jobs,
+            "workers": self.n_workers,
+            "scheduler_crashes": self.scheduler_crashes,
+            "worker_crashes": self.worker_crashes,
+            "partitions": self.partitions,
+            "retries": self.retries,
+            "delayed": self.delayed,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+            "reclaims": self.reclaims,
+            "fenced": self.fenced,
+            "releases": self.releases,
+            "leases": self.leases,
+            "registrations": self.registrations,
+            "artifacts_verified": self.artifacts_verified,
+            "disruptions": self.n_disruptions,
+            "injections": {k: v for k, v in
+                           sorted(self.injections.items()) if v},
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+
+def run_distributed_soak(
+    seed: int,
+    campaigns: int = 20,
+    n_units: int = 6,
+    workers: int = 3,
+    classes: Any = chaos.DISTRIBUTED_SOAK_CLASSES,
+    probability: float = 0.3,
+    max_per_class: Optional[int] = None,
+    scratch: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> DistributedSoakReport:
+    """Soak the whole distributed tier on a virtual clock.
+
+    ``campaigns`` jobs, ``workers`` remote workers over the in-memory
+    transport, one scheduler — then the seeded monkey partitions,
+    delays, duplicates and reorders frames, SIGKILLs the scheduler
+    (restarted with an epoch bump, replaying its journal) and kills
+    whole worker hosts (replaced by fresh workers; the dead host's
+    leases expire and are reclaimed).  Afterwards the audit must find:
+    every job terminal exactly once, zero journal invariant
+    violations, every campaign's checkpoint and uploaded artifact
+    identical to its no-chaos golden twin, the artifact manifest
+    hash-verified, and every enabled chaos class actually fired.
+    """
+    import shutil
+    import tempfile
+
+    from repro.runtime.chaos import ChaosConfig, ChaosKill, ChaosMonkey
+    from repro.runtime.checkpoint import CheckpointStore
+    from repro.runtime.integrity import verify_campaign
+    from repro.runtime.queue import JobJournal
+    from repro.runtime.runner import CampaignReport, CampaignRunner, \
+        UnitResult
+
+    classes = tuple(classes)
+    if max_per_class is None:
+        max_per_class = max(2, campaigns // 4)
+    own_scratch = scratch is None
+    scratch = scratch or tempfile.mkdtemp(prefix="repro-dist-")
+    os.makedirs(scratch, exist_ok=True)
+    journal_path = os.path.join(scratch, "service.jsonl")
+    artifact_root = os.path.join(scratch, "artifacts")
+
+    def say(text: str) -> None:
+        if progress is not None:
+            progress(text)
+
+    report = DistributedSoakReport(
+        seed=seed, classes=classes, n_jobs=campaigns, n_workers=workers)
+
+    specs: List[JobSpec] = []
+    goldens: Dict[str, CampaignReport] = {}
+    for i in range(campaigns):
+        job_seed = seed * 1_000_003 + i
+        spec = JobSpec(
+            job_id=f"job{i:03d}", kind="soak", seed=job_seed,
+            n_units=n_units,
+            checkpoint=os.path.join(scratch, f"job{i:03d}.jsonl"),
+        )
+        specs.append(spec)
+        goldens[spec.job_id] = CampaignRunner().run(
+            service_job_units(spec))
+
+    chaos_config = ChaosConfig(
+        seed=seed, classes=classes, probability=probability,
+        max_per_class=max_per_class, scratch=scratch)
+    # The scarcest injection point is ``service.tick`` — one occurrence
+    # per scheduler round, and with ``workers`` jobs finishing per round
+    # the whole soak takes only ~campaigns/workers clean rounds.  Every
+    # class's guaranteed first firing must land inside that window.
+    monkey = chaos.install(ChaosMonkey(
+        chaos_config, horizon=max(4, campaigns // max(1, workers))))
+    clock = _VirtualClock()
+    svc_config = ServiceConfig(
+        lease_ttl=12.0, heartbeat_interval=3.0, max_job_retries=4,
+        backoff_base=1.0, backoff_max=4.0,
+    )
+    policy = RetryPolicy(
+        max_attempts=4, backoff_base=0.2, backoff_factor=2.0,
+        backoff_max=1.0, jitter=0.5, deadline=90.0, rpc_timeout=6.0,
+    )
+    hub = _SoakHub()
+
+    def on_death() -> None:
+        report.scheduler_crashes += 1
+        say("scheduler killed")
+
+    hub.on_scheduler_death = on_death
+
+    def start_scheduler() -> SchedulerService:
+        service = SchedulerService(journal_path, config=svc_config,
+                                   clock=clock.now)
+        service.chaos_clock_advance = clock.advance
+        endpoint = SchedulerEndpoint(
+            service, artifacts=ArtifactStore(artifact_root))
+        hub.service = service
+        hub.endpoint = endpoint
+        for spec in specs:
+            service.submit(spec)  # idempotent re-submission
+        return service
+
+    next_worker = [0]
+    all_clients: List[RpcClient] = []
+
+    def make_worker() -> RemoteWorker:
+        index = next_worker[0]
+        next_worker[0] += 1
+        client = RpcClient(
+            MemoryChannel(hub), f"w{index}", policy=policy,
+            clock=clock.now, sleep=clock.advance,
+            seed=seed * 31 + index)
+        all_clients.append(client)
+        return RemoteWorker(client, host=f"host{index % workers}",
+                            pid=1000 + index)
+
+    roster = [make_worker() for _ in range(workers)]
+
+    # Convergence bound: every injection costs at most a few extra
+    # rounds; each job needs only one clean lease-run-complete pass.
+    budget = 80 + campaigns * 10 + 15 * max_per_class * len(classes)
+    try:
+        while True:
+            if budget <= 0:
+                raise CampaignError(
+                    "distributed soak failed to converge (round budget "
+                    "exhausted without all jobs terminal)")
+            budget -= 1
+            if hub.endpoint is None:
+                try:
+                    start_scheduler()
+                except ChaosKill:
+                    # Died mid-recovery (e.g. a torn journal append
+                    # while re-submitting): tear the half-started
+                    # incarnation back down and try again.
+                    hub.kill_scheduler()
+                    say("scheduler killed during recovery")
+                    continue
+            assert hub.service is not None
+            try:
+                hub.service.tick()
+            except ChaosKill:
+                hub.kill_scheduler()
+                continue
+            if len(hub.service.jobs) >= len(specs) \
+                    and hub.service.all_terminal():
+                break
+            progressed = False
+            for slot, worker in enumerate(roster):
+                if hub.endpoint is None:
+                    break  # scheduler died under a sibling this round
+                try:
+                    outcome = worker.run_next()
+                except ChaosKill as kill:
+                    # The whole worker host is gone; its lease times
+                    # out and is reclaimed.  A fresh host takes the
+                    # slot — with a new identity, like real hardware.
+                    report.worker_crashes += 1
+                    say(f"worker {worker.worker_id} host lost ({kill})")
+                    roster[slot] = make_worker()
+                    progressed = True
+                    continue
+                except (TransportError, DrainRequested):
+                    continue  # partitioned / scheduler down: next round
+                if outcome is not None:
+                    progressed = True
+            if not progressed:
+                # Leases held by dead/partitioned workers must expire;
+                # retry backoff gates must open.
+                clock.advance(svc_config.heartbeat_interval)
+    finally:
+        chaos.uninstall()
+
+    report.injections = monkey.injection_counts()
+    for client in all_clients:
+        report.partitions += client.stats["partitions"]
+        report.retries += client.stats["retries"]
+        report.delayed += client.stats["delayed"]
+        report.duplicated += client.stats["duplicated"]
+        report.reordered += client.stats["reordered"]
+
+    # ---- the audit --------------------------------------------------
+    report.violations.extend(
+        verify_journal(journal_path, require_terminal=True))
+    _, events, _ = JobJournal(journal_path).load(repair=False)
+    report.reclaims = sum(1 for e in events if e["event"] == "reclaim")
+    report.fenced = sum(1 for e in events if e["event"] == "fenced")
+    report.releases = sum(1 for e in events if e["event"] == "release")
+    report.leases = sum(1 for e in events if e["event"] == "lease")
+    report.registrations = sum(
+        1 for e in events if e["event"] == "worker")
+    completes = {e["job"]: e for e in events if e["event"] == "complete"}
+
+    store = ArtifactStore(artifact_root)
+    report.violations.extend(store.verify())
+
+    for spec in specs:
+        golden = goldens[spec.job_id]
+        expected = [u.unit_id for u in service_job_units(spec)]
+        try:
+            _, records = CheckpointStore(spec.checkpoint).load()
+        except Exception as exc:  # noqa: BLE001 — audited below
+            report.violations.append(Violation(
+                "broken-chain", spec.checkpoint or spec.job_id,
+                str(exc)))
+            continue
+        rebuilt = CampaignReport()
+        for unit_id in expected:
+            if unit_id in records:
+                rebuilt.results[unit_id] = \
+                    UnitResult.from_record(records[unit_id])
+        report.violations.extend(verify_campaign(
+            rebuilt, checkpoint=spec.checkpoint, golden=golden,
+            expected_units=expected))
+
+        complete = completes.get(spec.job_id)
+        summary = (complete or {}).get("summary") or {}
+        if complete is not None:
+            if summary.get("digest") != report_digest(golden):
+                report.violations.append(Violation(
+                    "summary-digest-mismatch", spec.job_id,
+                    f"completion summary digest "
+                    f"{summary.get('digest')!r} differs from the "
+                    "golden twin's"))
+            sha = summary.get("artifact")
+            if not isinstance(sha, str) or not sha:
+                report.violations.append(Violation(
+                    "missing-artifact", spec.job_id,
+                    "completed job recorded no result artifact"))
+            else:
+                try:
+                    doc = store.get_json(sha)
+                except ReproError as exc:
+                    report.violations.append(Violation(
+                        "bad-artifact", spec.job_id, str(exc)))
+                else:
+                    if doc.get("rows") != golden_report_rows(golden):
+                        report.violations.append(Violation(
+                            "artifact-mismatch", spec.job_id,
+                            "uploaded report rows differ from the "
+                            "golden twin's"))
+                    else:
+                        report.artifacts_verified += 1
+        say(f"{spec.job_id}: audited")
+
+    for name in classes:
+        if not report.injections.get(name):
+            report.violations.append(Violation(
+                "class-never-fired", name,
+                "enabled chaos class never injected (soak too short "
+                "or horizon unreachable)"))
+
+    if own_scratch:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return report

@@ -1,4 +1,4 @@
-"""Tests for the campaign-config lint rules (CMP001..CMP005)."""
+"""Tests for the campaign-config lint rules (CMP001..CMP006)."""
 
 from repro.lint.campaign_rules import CampaignConfig, lint_campaigns
 from repro.lint.findings import Severity
@@ -254,3 +254,122 @@ def test_from_doc_carries_service_block():
     config = CampaignConfig.from_doc(
         {"name": "x", "service": {"lease_ttl": 10}})
     assert config.service == {"lease_ttl": 10}
+
+
+# ----------------------------------------------------------------------
+# CMP006: self-defeating transport/worker policies
+# ----------------------------------------------------------------------
+def test_cmp006_clean_transport_block_passes(tmp_path):
+    config = CampaignConfig(
+        name="dist", checkpoint=str(tmp_path / "dist.jsonl"),
+        service={"lease_ttl": 30.0, "heartbeat_interval": 5.0,
+                 "max_job_retries": 3},
+        transport={"rpc_timeout": 2.0, "max_attempts": 4,
+                   "deadline": 30.0,
+                   "artifacts": str(tmp_path / "artifacts")},
+    )
+    assert lint_campaigns([config]).findings == []
+
+
+def test_cmp006_rpc_timeout_at_heartbeat_cadence_flagged():
+    config = CampaignConfig(
+        name="starved",
+        service={"lease_ttl": 30.0, "heartbeat_interval": 5.0},
+        transport={"rpc_timeout": 5.0, "max_attempts": 4,
+                   "deadline": 30.0})
+    report = lint_campaigns([config])
+    cmp006 = [f for f in report if f.rule == "CMP006"]
+    assert len(cmp006) == 1
+    assert cmp006[0].location == "campaign:starved:transport.rpc_timeout"
+    assert cmp006[0].severity is Severity.ERROR
+    assert "lease expires" in cmp006[0].message
+
+
+def test_cmp006_non_positive_rpc_timeout_flagged():
+    config = CampaignConfig(
+        name="instant",
+        transport={"rpc_timeout": 0.0, "max_attempts": 4,
+                   "deadline": 30.0})
+    report = lint_campaigns([config])
+    cmp006 = [f for f in report if f.rule == "CMP006"]
+    assert len(cmp006) == 1
+    assert cmp006[0].location == "campaign:instant:transport.rpc_timeout"
+
+
+def test_cmp006_zero_retry_budget_flagged():
+    config = CampaignConfig(
+        name="fragile",
+        transport={"rpc_timeout": 2.0, "max_attempts": 0,
+                   "deadline": 30.0})
+    report = lint_campaigns([config])
+    cmp006 = [f for f in report if f.rule == "CMP006"]
+    assert len(cmp006) == 1
+    assert cmp006[0].location == "campaign:fragile:transport.max_attempts"
+    assert cmp006[0].severity is Severity.ERROR
+
+
+def test_cmp006_deadline_below_one_attempt_flagged():
+    config = CampaignConfig(
+        name="hopeless",
+        transport={"rpc_timeout": 5.0, "max_attempts": 4,
+                   "deadline": 1.0})
+    report = lint_campaigns([config])
+    cmp006 = [f for f in report if f.rule == "CMP006"]
+    assert len(cmp006) == 1
+    assert cmp006[0].location == "campaign:hopeless:transport.deadline"
+
+
+def test_cmp006_artifacts_inside_chaos_scratch_flagged(tmp_path):
+    scratch = tmp_path / "scratch"
+    config = CampaignConfig(
+        name="self-destructive",
+        chaos={"seed": 1, "scratch": str(scratch)},
+        transport={"rpc_timeout": 2.0, "max_attempts": 4,
+                   "deadline": 30.0,
+                   "artifacts": str(scratch / "artifacts")},
+    )
+    report = lint_campaigns([config])
+    cmp006 = [f for f in report if f.rule == "CMP006"]
+    assert len(cmp006) == 1
+    assert cmp006[0].location == \
+        "campaign:self-destructive:transport.artifacts"
+    assert cmp006[0].severity is Severity.ERROR
+
+
+def test_cmp006_artifacts_outside_chaos_scratch_passes(tmp_path):
+    config = CampaignConfig(
+        name="separated",
+        chaos={"seed": 1, "scratch": str(tmp_path / "scratch")},
+        transport={"rpc_timeout": 2.0, "max_attempts": 4,
+                   "deadline": 30.0,
+                   "artifacts": str(tmp_path / "artifacts")},
+    )
+    assert lint_campaigns([config]).findings == []
+
+
+def test_cmp006_non_object_transport_block_flagged():
+    report = lint_campaigns(
+        [CampaignConfig(name="a", transport="tcp please")])
+    assert {f.rule for f in report} == {"CMP006"}
+
+
+def test_cmp006_no_transport_block_is_silent():
+    assert lint_campaigns([CampaignConfig(name="a")]).findings == []
+
+
+def test_from_doc_carries_transport_block():
+    config = CampaignConfig.from_doc(
+        {"name": "x", "transport": {"rpc_timeout": 2.0}})
+    assert config.transport == {"rpc_timeout": 2.0}
+
+
+def test_cmp006_retry_policy_lint_doc_is_clean(tmp_path):
+    """The transport's own default RetryPolicy passes its own lint."""
+    from repro.runtime.transport import RetryPolicy
+    doc = RetryPolicy().lint_doc()
+    doc["artifacts"] = str(tmp_path / "artifacts")
+    config = CampaignConfig(
+        name="defaults",
+        service={"lease_ttl": 30.0, "heartbeat_interval": 6.0},
+        transport=doc)
+    assert lint_campaigns([config]).findings == []

@@ -1,0 +1,403 @@
+"""Property and fuzz tests for the distributed transport tier.
+
+Two families:
+
+* **Partition/heal/reconnect interleavings** — a hypothesis-driven
+  mini-cluster (virtual clock, in-memory links with per-worker
+  partition switches, restartable scheduler) runs arbitrary action
+  sequences and must always land with every job completed exactly
+  once, a clean journal audit, and every healed worker's stale token
+  settled as a ``fenced`` journal event.
+* **Frame codec fuzz** — truncated, oversized, and garbage frames must
+  never crash the decoder or a listening scheduler: the codec either
+  buffers (incomplete input) or raises :class:`FrameError`, and the
+  socket server drops the bad connection while continuing to serve
+  well-formed peers.
+"""
+
+import json
+import socket
+import struct
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.errors import (
+    DrainRequested,
+    FrameError,
+    TransportError,
+)
+from repro.runtime.service import (
+    JobSpec,
+    SchedulerService,
+    ServiceConfig,
+    verify_journal,
+)
+from repro.runtime.transport import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    MemoryChannel,
+    RetryPolicy,
+    RpcClient,
+    SchedulerEndpoint,
+    TransportServer,
+    encode_frame,
+)
+from repro.runtime.worker import RemoteWorker
+
+
+# ----------------------------------------------------------------------
+# The mini-cluster harness
+# ----------------------------------------------------------------------
+class _Clock:
+    def __init__(self, start: float = 1_000.0):
+        self.t = start
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class _PartitionHub:
+    """In-memory 'network' with a per-worker partition switch and an
+    optional fuse that cuts a link after N delivered frames (so a
+    partition can land *mid-job*, between two heartbeats)."""
+
+    def __init__(self):
+        self.endpoint = None
+        self.partitioned = set()
+        self.cut_after = {}  # worker -> frames until the link drops
+
+    def dispatch(self, request):
+        worker = request.get("worker")
+        if worker in self.partitioned:
+            raise TransportError(f"link to {worker} is partitioned")
+        if self.endpoint is None:
+            raise TransportError("scheduler is down")
+        fuse = self.cut_after.get(worker)
+        if fuse is not None:
+            if fuse <= 0:
+                self.partitioned.add(worker)
+                del self.cut_after[worker]
+                raise TransportError(f"link to {worker} just dropped")
+            self.cut_after[worker] = fuse - 1
+        return self.endpoint.dispatch(request)
+
+
+class _Cluster:
+    """One scheduler + lazy workers over partitionable in-memory links,
+    all on a virtual clock."""
+
+    def __init__(self, scratch, n_jobs=2, n_units=2, lease_ttl=10.0):
+        self.clock = _Clock()
+        self.hub = _PartitionHub()
+        self.journal = f"{scratch}/svc.jsonl"
+        self.config = ServiceConfig(
+            lease_ttl=lease_ttl, heartbeat_interval=2.0,
+            max_job_retries=6)
+        self.specs = [
+            JobSpec(job_id=f"job{i}", kind="soak", seed=100 + i,
+                    n_units=n_units,
+                    checkpoint=f"{scratch}/job{i}.jsonl")
+            for i in range(n_jobs)
+        ]
+        self.service = None
+        self.workers = {}
+        self.start_scheduler()
+
+    def start_scheduler(self):
+        self.service = SchedulerService(
+            self.journal, config=self.config, clock=self.clock.now)
+        for spec in self.specs:
+            self.service.submit(spec)  # idempotent by job id
+        self.hub.endpoint = SchedulerEndpoint(self.service)
+
+    def crash_scheduler(self):
+        if self.service is not None:
+            self.service.close()
+        self.service = None
+        self.hub.endpoint = None
+
+    def worker(self, wid):
+        if wid not in self.workers:
+            policy = RetryPolicy(
+                max_attempts=2, backoff_base=0.0, backoff_factor=1.0,
+                backoff_max=0.0, jitter=0.0, deadline=1e9,
+                rpc_timeout=1.0)
+            client = RpcClient(
+                MemoryChannel(self.hub), wid, policy=policy,
+                clock=self.clock.now, sleep=lambda _s: None, seed=7)
+            self.workers[wid] = RemoteWorker(
+                client, host=f"host-{wid}", pid=1)
+        return self.workers[wid]
+
+    def run_worker(self, wid):
+        try:
+            return self.worker(wid).run_next()
+        except (TransportError, DrainRequested):
+            return None
+
+    def settle(self, rounds=300):
+        """Heal everything and drive the cluster until every job is
+        terminal (the scheduler is restarted if down)."""
+        self.hub.partitioned.clear()
+        self.hub.cut_after.clear()
+        for _ in range(rounds):
+            if self.service is None:
+                self.start_scheduler()
+            self.service.tick()
+            if len(self.service.jobs) >= len(self.specs) \
+                    and self.service.all_terminal():
+                return
+            progress = False
+            for wid in ("w0", "w1"):
+                outcome = self.run_worker(wid)
+                progress = progress or outcome is not None
+            if not progress:
+                self.clock.advance(self.config.heartbeat_interval)
+        raise AssertionError("cluster failed to settle")
+
+    def close(self):
+        if self.service is not None:
+            self.service.close()
+
+    def events(self):
+        with open(self.journal, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        return [json.loads(line) for line in lines[1:] if line]
+
+
+def _apply(cluster, action):
+    if action == "w0" or action == "w1":
+        cluster.run_worker(action)
+    elif action.startswith("part"):
+        cluster.hub.partitioned.add("w" + action[-1])
+    elif action.startswith("cut"):
+        # Drop the link after 3 more frames: lands mid-job, between
+        # the lease and a later heartbeat or completion.
+        cluster.hub.cut_after.setdefault("w" + action[-1], 3)
+    elif action.startswith("heal"):
+        cluster.hub.partitioned.discard("w" + action[-1])
+    elif action == "tick":
+        if cluster.service is not None:
+            cluster.service.tick()
+    elif action == "advance":
+        cluster.clock.advance(3.0)
+    elif action == "expire":
+        cluster.clock.advance(cluster.config.lease_ttl + 1.0)
+    elif action == "restart":
+        cluster.crash_scheduler()
+        cluster.start_scheduler()
+    elif action == "crash":
+        cluster.crash_scheduler()
+
+
+_ACTIONS = st.lists(
+    st.sampled_from(
+        ["w0", "w1", "part0", "part1", "cut0", "cut1", "heal0",
+         "heal1", "tick", "advance", "expire", "restart", "crash"]),
+    max_size=24)
+
+
+@settings(max_examples=30, deadline=None)
+@given(actions=_ACTIONS)
+def test_partition_interleavings_complete_exactly_once(actions):
+    """No interleaving of partitions, heals, lease expiries, scheduler
+    crashes and reconnects may double-complete a job or corrupt the
+    journal; every job still lands terminal."""
+    with tempfile.TemporaryDirectory() as scratch:
+        cluster = _Cluster(scratch)
+        try:
+            for action in actions:
+                _apply(cluster, action)
+            cluster.settle()
+        finally:
+            cluster.close()
+
+        assert verify_journal(cluster.journal,
+                              require_terminal=True) == []
+        completes = {}
+        for event in cluster.events():
+            if event["event"] == "complete":
+                job = event["job"]
+                completes[job] = completes.get(job, 0) + 1
+        # Exactly once: never double-completed, never dropped.
+        assert completes == {spec.job_id: 1 for spec in cluster.specs}
+        # Every suspect token was settled on heal, none left hanging.
+        for worker in cluster.workers.values():
+            assert worker._suspect == {}
+
+
+@settings(max_examples=30, deadline=None)
+@given(actions=_ACTIONS)
+def test_healed_stale_tokens_always_journal_as_fenced(actions):
+    """Whatever the interleaving, a (job, token) pair a healed worker
+    flushes is journaled: as ``release`` while the token is current, as
+    ``fenced`` once it went stale — and every fenced token is one some
+    lease actually granted (the scheduler never fences fiction)."""
+    with tempfile.TemporaryDirectory() as scratch:
+        cluster = _Cluster(scratch)
+        try:
+            for action in actions:
+                _apply(cluster, action)
+            cluster.settle()
+        finally:
+            cluster.close()
+
+        granted = set()
+        settled = set()
+        for event in cluster.events():
+            if event["event"] == "lease":
+                granted.add((event["job"], event["token"]))
+            elif event["event"] in ("fenced", "release", "complete",
+                                    "fail"):
+                if "token" in event:
+                    settled.add((event["job"], event["token"]))
+        assert settled <= granted
+        # Nothing is left suspect after settle(): each flushed pair
+        # produced a journal event above (fenced once stale).
+        for worker in cluster.workers.values():
+            assert worker._suspect == {}
+
+
+def test_stale_token_fenced_after_partition_and_heal():
+    """The deterministic core of the property: a worker partitioned
+    mid-job loses its lease to TTL expiry, the job completes elsewhere,
+    and the healed worker's old token is journaled as ``fenced``."""
+    with tempfile.TemporaryDirectory() as scratch:
+        cluster = _Cluster(scratch, n_jobs=1, n_units=3)
+        try:
+            # w0's link drops after register + lease; the first
+            # heartbeat fails, the (job, token) pair goes suspect.
+            cluster.hub.cut_after["w0"] = 2
+            assert cluster.run_worker("w0") in ("lost", None)
+            assert cluster.worker("w0")._suspect, \
+                "partition mid-job must leave a suspect token"
+            stale = dict(cluster.worker("w0")._suspect)
+
+            # The lease expires and the job completes on w1.
+            cluster.clock.advance(cluster.config.lease_ttl + 1.0)
+            cluster.service.tick()
+            assert cluster.run_worker("w1") == "done"
+
+            # Heal: w0's flush must land as a fenced journal event.
+            cluster.hub.partitioned.discard("w0")
+            cluster.run_worker("w0")
+            assert cluster.worker("w0")._suspect == {}
+        finally:
+            cluster.close()
+
+        fenced = [e for e in cluster.events() if e["event"] == "fenced"]
+        assert [(e["job"], e["token"]) for e in fenced] == \
+            list(stale.items())
+        completes = [e for e in cluster.events()
+                     if e["event"] == "complete"]
+        assert len(completes) == 1
+        assert verify_journal(cluster.journal,
+                              require_terminal=True) == []
+
+
+# ----------------------------------------------------------------------
+# Frame codec fuzz
+# ----------------------------------------------------------------------
+@settings(max_examples=300, deadline=None)
+@given(data=st.binary(max_size=256))
+def test_decoder_never_crashes_on_garbage(data):
+    """Arbitrary bytes either buffer, decode, or raise FrameError —
+    never anything else."""
+    decoder = FrameDecoder()
+    try:
+        frames = decoder.feed(data)
+    except FrameError:
+        return
+    assert all(isinstance(frame, dict) for frame in frames)
+
+
+_JSON_DOCS = st.dictionaries(
+    st.text(max_size=8),
+    st.one_of(st.integers(), st.text(max_size=8), st.booleans()),
+    max_size=4)
+
+
+@settings(max_examples=100, deadline=None)
+@given(docs=st.lists(_JSON_DOCS, min_size=1, max_size=4),
+       chunk=st.integers(min_value=1, max_value=7))
+def test_truncated_frames_buffer_until_complete(docs, chunk):
+    """Feeding a frame stream in arbitrarily small chunks loses
+    nothing, duplicates nothing, and reorders nothing."""
+    stream = b"".join(encode_frame(doc) for doc in docs)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(stream), chunk):
+        out.extend(decoder.feed(stream[i:i + chunk]))
+    assert out == docs
+    assert decoder.pending_bytes == 0
+
+
+def test_oversized_length_prefix_is_rejected():
+    decoder = FrameDecoder()
+    prefix = struct.pack(">I", MAX_FRAME_BYTES + 1)
+    try:
+        decoder.feed(prefix)
+    except FrameError:
+        return
+    raise AssertionError("oversized frame prefix must raise FrameError")
+
+
+def test_garbage_payload_is_rejected():
+    for payload in (b"not json at all", b"[1, 2, 3]", b"42", b"null"):
+        frame = struct.pack(">I", len(payload)) + payload
+        decoder = FrameDecoder()
+        try:
+            decoder.feed(frame)
+        except FrameError:
+            continue
+        raise AssertionError(
+            f"payload {payload!r} must raise FrameError")
+
+
+def test_server_survives_garbage_connections(tmp_path):
+    """A peer spraying truncated/oversized/garbage frames gets its
+    connection dropped; the scheduler keeps serving well-formed
+    peers."""
+    service = SchedulerService(str(tmp_path / "svc.jsonl"))
+    endpoint = SchedulerEndpoint(service)
+    server = TransportServer(endpoint, "127.0.0.1:0")
+    host, port = server.address.rsplit(":", 1)
+    attacks = [
+        b"\xff\xff\xff\xff",                      # oversized prefix
+        struct.pack(">I", 10) + b"not json!!",    # garbage payload
+        struct.pack(">I", 100) + b"short",        # truncated forever
+        b"\x00",                                  # torn prefix
+    ]
+    try:
+        for payload in attacks:
+            with socket.create_connection((host, int(port)),
+                                          timeout=5.0) as sock:
+                sock.sendall(payload)
+                sock.settimeout(0.5)
+                # The server closes the connection (bad frame) or
+                # just never answers (incomplete frame) — it must
+                # not crash.
+                try:
+                    sock.recv(1)
+                except (socket.timeout, OSError):
+                    pass
+        # A well-formed peer still gets service.
+        with socket.create_connection((host, int(port)),
+                                      timeout=5.0) as sock:
+            sock.sendall(encode_frame({"op": "ping", "id": "req-1",
+                                       "worker": "probe"}))
+            sock.settimeout(5.0)
+            decoder = FrameDecoder()
+            frames = []
+            while not frames:
+                data = sock.recv(4096)
+                assert data, "server hung up on a well-formed peer"
+                frames = decoder.feed(data)
+            assert frames[0].get("ok") is True
+    finally:
+        server.stop()
+        service.close()

@@ -72,10 +72,15 @@ class ComponentSpec:
         return sum(w for _, w in self.input_ports)
 
     def netlist(self) -> Netlist:
-        """The component's gate-level netlist (cached per spec)."""
+        """The component's gate-level netlist (cached per spec).
+
+        Keyed on the spec itself, not its name: family registries reuse
+        component names at different widths, so a name-keyed cache would
+        hand one core's netlist to another.
+        """
         if self.factory is None:
             raise ValueError(f"component {self.name!r} has no gate netlist")
-        return _cached_netlist(self.name)
+        return _cached_netlist(self)
 
 
 def _mux18() -> Callable[[], Netlist]:
@@ -105,8 +110,8 @@ _FACTORIES: Dict[str, Callable[[], Netlist]] = {
 
 
 @lru_cache(maxsize=None)
-def _cached_netlist(name: str) -> Netlist:
-    return _FACTORIES[name]()
+def _cached_netlist(spec: "ComponentSpec") -> Netlist:
+    return spec.factory()
 
 
 _ONOFF = ((0, "0"), (1, "1"))

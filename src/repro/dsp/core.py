@@ -40,7 +40,9 @@ from repro.dsp.mac import (
     ComponentActivity,
     MacControls,
     MacDatapath,
+    MacParams,
     Overrides,
+    PAPER_MAC,
     Trace,
 )
 
@@ -84,6 +86,8 @@ class CoreState:
     if_id: Optional[int] = None
     id_ex: Optional[IdEx] = None
     ex_wb: Optional[ExWb] = None
+    #: Registered output port of 5-deep family cores: ``(valid, value)``.
+    out_latch: Tuple[int, int] = (0, 0)
 
     def copy(self) -> "CoreState":
         return CoreState(
@@ -97,6 +101,7 @@ class CoreState:
             if_id=self.if_id,
             id_ex=replace(self.id_ex) if self.id_ex else None,
             ex_wb=replace(self.ex_wb) if self.ex_wb else None,
+            out_latch=self.out_latch,
         )
 
 
@@ -125,11 +130,38 @@ class DspCore:
     ``stuck_bits`` maps state-element keys to ``(and_mask, or_mask)`` pairs
     applied after every cycle (and at construction), modelling stuck-at
     faults in storage elements.
+
+    ``build`` selects a non-paper family point (a
+    :class:`repro.dsp.family.CoreBuild`); omitted, the core is the paper
+    configuration.
     """
 
     def __init__(self, state: Optional[CoreState] = None,
-                 stuck_bits: Optional[StuckBits] = None):
-        self.state = state if state is not None else CoreState()
+                 stuck_bits: Optional[StuckBits] = None,
+                 build=None):
+        self.build = build
+        if build is None:
+            self._mac_params: MacParams = PAPER_MAC
+            self._reg_mask = _REG_MASK
+            self._acc_mask = _ACC_MASK
+            self._addr_mask = N_REGISTERS - 1
+            self._depth = 4
+            self._drain = 4
+            self._control_word = control_word
+            n_regs = N_REGISTERS
+        else:
+            self._mac_params = build.mac_params
+            self._reg_mask = build.operand_mask
+            self._acc_mask = build.acc_mask
+            self._addr_mask = build.spec.n_registers - 1
+            self._depth = build.spec.pipeline_depth
+            self._drain = build.drain_length
+            self._control_word = build.control_word
+            n_regs = build.spec.n_registers
+        if state is not None:
+            self.state = state
+        else:
+            self.state = CoreState(regs=[0] * n_regs)
         self.stuck_bits = dict(stuck_bits) if stuck_bits else {}
         if self.stuck_bits:
             self._apply_stuck_bits()
@@ -184,7 +216,7 @@ class DspCore:
                 {"a": s.macreg, "b": s.buffer, "sel": wb.ctrl.mux7_buffer},
                 s.buffer if wb.ctrl.mux7_buffer else s.macreg,
                 mode=wb.ctrl.mux7_buffer,
-            ) & _REG_MASK
+            ) & self._reg_mask
             if wb.ctrl.out_en:
                 out_valid = True
                 out_value = wb_value
@@ -200,9 +232,10 @@ class DspCore:
                 MacControls.from_control_word(ctrl),
                 s.acc_a, s.acc_b,
                 trace=trace, overrides=overrides,
+                params=self._mac_params,
             )
-            s.acc_a = mac.acc_a & _ACC_MASK
-            s.acc_b = mac.acc_b & _ACC_MASK
+            s.acc_a = mac.acc_a & self._acc_mask
+            s.acc_b = mac.acc_b & self._acc_mask
 
             buffer_d = stage.instr.imm if ctrl.buf_imm else stage.opb
             macreg_value = emit(
@@ -211,48 +244,53 @@ class DspCore:
             buffer_value = emit(
                 "buffer", {"d": buffer_d, "q": s.buffer}, buffer_d
             )
-            s.macreg = macreg_value & _REG_MASK
-            s.buffer = buffer_value & _REG_MASK
+            s.macreg = macreg_value & self._reg_mask
+            s.buffer = buffer_value & self._reg_mask
             new_ex_wb = ExWb(instr=stage.instr, ctrl=ctrl)
             if ctrl.reg_we:
                 bypass_value = (buffer_value if ctrl.mux7_buffer
-                                else macreg_value) & _REG_MASK
-                ex_bypass = (stage.instr.dest, bypass_value)
+                                else macreg_value) & self._reg_mask
+                ex_bypass = (stage.instr.dest & self._addr_mask, bypass_value)
 
         # ---------------- ID stage (uses if_id latch) -----------------
+        # A 3-deep family core has no IF/ID latch: it decodes the incoming
+        # instruction word in the same cycle it is fetched.
         new_id_ex: Optional[IdEx] = None
-        if s.if_id is not None:
-            instr = decode(s.if_id)
+        fetched = instr_word & mask(17) if self._depth == 3 else s.if_id
+        if fetched is not None:
+            instr = decode(fetched)
             ctrl_packed = emit(
                 "decoder", {"in": int(instr.opcode)},
-                control_word(instr.opcode).pack(),
+                self._control_word(instr.opcode).pack(),
             )
             ctrl = ControlWord.unpack(ctrl_packed)
 
             def read_reg(addr: int, port: str) -> int:
-                value = s.regs[addr]
-                if ex_bypass is not None and ex_bypass[0] == addr:
+                value = s.regs[addr & self._addr_mask]
+                if (ex_bypass is not None
+                        and ex_bypass[0] == addr & self._addr_mask):
                     value = ex_bypass[1]
                 elif (wb is not None and wb.ctrl.reg_we
-                        and wb.instr.dest == addr):
+                        and wb.instr.dest & self._addr_mask
+                        == addr & self._addr_mask):
                     # Distance-2 forward: the producer is in WB right now and
                     # its value sits in the temp register (latched when it
                     # left EX).
                     value = s.temp
                 return emit(f"regread_{port}", {"addr": addr}, value)
 
-            opa = read_reg(instr.rega, "a") & _REG_MASK
-            opb = read_reg(instr.regb, "b") & _REG_MASK
+            opa = read_reg(instr.rega, "a") & self._reg_mask
+            opb = read_reg(instr.regb, "b") & self._reg_mask
             new_id_ex = IdEx(instr=instr, ctrl=ctrl, opa=opa, opb=opb)
 
         # ---------------- register write & latch advance --------------
         if wb is not None and wb.ctrl.reg_we:
-            s.regs[wb.instr.dest] = wb_value
+            s.regs[wb.instr.dest & self._addr_mask] = wb_value
 
         if ex_bypass is not None:
             s.temp = emit(
                 "temp", {"d": ex_bypass[1], "q": s.temp}, ex_bypass[1]
-            ) & _REG_MASK
+            ) & self._reg_mask
             s.temp_dest = ex_bypass[0]
         # A producer's temp entry stays valid until the next producer; a
         # stale entry is harmless because the register file already holds
@@ -260,10 +298,17 @@ class DspCore:
 
         s.ex_wb = new_ex_wb
         s.id_ex = new_id_ex
-        s.if_id = instr_word & mask(17)
+        s.if_id = None if self._depth == 3 else instr_word & mask(17)
 
         if self.stuck_bits:
             self._apply_stuck_bits()
+        if self._depth >= 5:
+            # Registered output port: what the caller sees this cycle is
+            # the value latched at the end of the previous one.
+            prev_valid, prev_value = s.out_latch
+            s.out_latch = (1 if out_valid else 0, out_value)
+            return StepResult(out_valid=bool(prev_valid),
+                              out_value=prev_value)
         return StepResult(out_valid=out_valid, out_value=out_value)
 
     # ------------------------------------------------------------------
@@ -285,5 +330,5 @@ class DspCore:
         from repro.dsp.isa import encode
         words = [encode(i) for i in instructions]
         if drain:
-            words += [encode(Instruction(Opcode.NOP))] * 4
+            words += [encode(Instruction(Opcode.NOP))] * self._drain
         return [r.port for r in self.run(words)]

@@ -1,0 +1,436 @@
+"""The DSP core *family*: validated design points around the paper core.
+
+The paper evaluates its self-test method on one core.  This module turns
+that single configuration into a parameterized family — register-file
+size, operand/accumulator width, pipeline depth, shifter and adder
+implementation, optional truncater/limiter — so the whole
+metrics → Phase 1-3 → fault-simulation pipeline can run across a design
+space instead of a point (see ``repro.harness.sweeps``).
+
+Two classes:
+
+* :class:`CoreSpec` — a frozen, validated description of one design
+  point.  Illegal combinations (e.g. an accumulator narrower than the
+  MAC product) raise :class:`~repro.runtime.errors.ConfigError` from
+  :meth:`CoreSpec.validate` and never build anything.
+* :class:`CoreBuild` — the cached build context for a legal spec: ISA
+  control words, decoder truth table, behavioural core factory,
+  gate-level netlist, and the per-spec component registry that the
+  metrics/fault layers consume.
+
+``CoreSpec.paper()`` is the paper core; its build delegates to the
+historical single-core constructors, so every artifact it produces
+(netlist structural hash, metrics tables, Phase 1 selection) is
+bit-identical to the pre-family code — pinned by golden tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from repro._util import mask
+from repro.dsp import components as paper_components
+from repro.dsp.components import ComponentSpec
+from repro.dsp.isa import (
+    CONTROL_WIDTH,
+    ControlWord,
+    OPCODE_WIDTH,
+    Opcode,
+    control_word,
+)
+from repro.logic.netlist import Netlist
+from repro.rtl.arith import ADDER_STYLES, make_addsub
+from repro.rtl.decoder import make_truth_table_logic
+from repro.rtl.multiplier import make_multiplier
+from repro.rtl.mux import make_gated_bus, make_mux2_bus
+from repro.rtl.saturate import make_limiter
+from repro.rtl.shifter import make_shifter
+from repro.rtl.truncate import make_truncater
+from repro.runtime.errors import ConfigError
+
+#: Legal axis values.  Register files must be a power of two (the address
+#: decoder is a binary tree); operand widths keep the n.n fixed-point
+#: split of the paper; depth 3 drops the IF/ID latch, depth 5 registers
+#: the output port.
+N_REGISTERS_CHOICES = (4, 8, 16)
+OPERAND_WIDTH_CHOICES = (4, 6, 8)
+PIPELINE_DEPTH_CHOICES = (3, 4, 5)
+SHIFTER_STYLES = ("barrel", "dedicated")
+
+#: Shift-amount field width (low bits of operand A) — fixed by the ISA.
+AMT_WIDTH = 4
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """One validated point of the core family.
+
+    The defaults are the paper core, so ``CoreSpec()`` ==
+    ``CoreSpec.paper()``.
+    """
+
+    n_registers: int = 16
+    operand_width: int = 8
+    acc_width: int = 18
+    pipeline_depth: int = 4
+    shifter: str = "barrel"
+    adder: str = "ripple"
+    has_truncater: bool = True
+    has_limiter: bool = True
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def paper() -> "CoreSpec":
+        """The paper core (bit-identical to the pre-family code)."""
+        return CoreSpec()
+
+    @property
+    def is_paper(self) -> bool:
+        return self == CoreSpec.paper()
+
+    # Derived fixed-point geometry: operands are w/2.w/2 (rounding the
+    # fraction down for odd widths), accumulators keep twice the operand
+    # fraction, exactly generalising the paper's 4.4 / 10.8 formats.
+    @property
+    def operand_frac(self) -> int:
+        return self.operand_width // 2
+
+    @property
+    def acc_frac(self) -> int:
+        return self.operand_width
+
+    @property
+    def frac_drop(self) -> int:
+        """Low accumulator bits the limiter window discards."""
+        return self.acc_frac - self.operand_frac
+
+    @property
+    def addr_bits(self) -> int:
+        return (self.n_registers - 1).bit_length()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "CoreSpec":
+        """Raise :class:`ConfigError` unless the spec is buildable."""
+        if self.n_registers not in N_REGISTERS_CHOICES:
+            raise ConfigError(
+                f"n_registers must be one of {N_REGISTERS_CHOICES}, "
+                f"got {self.n_registers}")
+        if self.operand_width not in OPERAND_WIDTH_CHOICES:
+            raise ConfigError(
+                f"operand_width must be one of {OPERAND_WIDTH_CHOICES}, "
+                f"got {self.operand_width}")
+        # The multiplier sign-extends its 2w-bit product to the
+        # accumulator; the paper core keeps two guard bits above it.
+        min_acc = 2 * self.operand_width + 2
+        if not min_acc <= self.acc_width <= 32:
+            raise ConfigError(
+                f"acc_width {self.acc_width} outside [{min_acc}, 32] for "
+                f"{self.operand_width}-bit operands (the accumulator must "
+                "hold the sign-extended MAC product plus guard bits)")
+        if self.pipeline_depth not in PIPELINE_DEPTH_CHOICES:
+            raise ConfigError(
+                f"pipeline_depth must be one of {PIPELINE_DEPTH_CHOICES}, "
+                f"got {self.pipeline_depth}")
+        if self.shifter not in SHIFTER_STYLES:
+            raise ConfigError(
+                f"shifter must be one of {SHIFTER_STYLES}, "
+                f"got {self.shifter!r}")
+        if self.adder not in ADDER_STYLES:
+            raise ConfigError(
+                f"adder must be one of {ADDER_STYLES}, got {self.adder!r}")
+        if not isinstance(self.has_truncater, bool):
+            raise ConfigError("has_truncater must be a bool")
+        if not isinstance(self.has_limiter, bool):
+            raise ConfigError("has_limiter must be a bool")
+        return self
+
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        """Compact human-readable tag, e.g. ``r16.w8.a18.d4.barrel.ripple``."""
+        parts = [
+            f"r{self.n_registers}", f"w{self.operand_width}",
+            f"a{self.acc_width}", f"d{self.pipeline_depth}",
+            self.shifter, self.adder,
+        ]
+        if not self.has_truncater:
+            parts.append("notrunc")
+        if not self.has_limiter:
+            parts.append("nolimit")
+        return ".".join(parts)
+
+    def to_doc(self) -> Dict[str, object]:
+        """JSON-serialisable form (replayable artifacts, sweep rows)."""
+        return {
+            "n_registers": self.n_registers,
+            "operand_width": self.operand_width,
+            "acc_width": self.acc_width,
+            "pipeline_depth": self.pipeline_depth,
+            "shifter": self.shifter,
+            "adder": self.adder,
+            "has_truncater": self.has_truncater,
+            "has_limiter": self.has_limiter,
+        }
+
+    @staticmethod
+    def from_doc(doc: Dict[str, object]) -> "CoreSpec":
+        """Rebuild a spec from :meth:`to_doc` output (validated)."""
+        return CoreSpec(**doc).validate()
+
+
+# ----------------------------------------------------------------------
+# Per-spec component registry
+# ----------------------------------------------------------------------
+def _family_components(spec: CoreSpec) -> Tuple[ComponentSpec, ...]:
+    """The component registry of one non-paper family point.
+
+    Mirrors ``repro.dsp.components.COMPONENTS`` with per-spec widths and
+    factories; absent optional components are simply not listed.
+    """
+    ow, aw = spec.operand_width, spec.acc_width
+    frac, drop = spec.acc_frac, spec.frac_drop
+    truth_table = decoder_truth_table_for(spec)
+    _onoff = ((0, "0"), (1, "1"))
+    specs = [
+        ComponentSpec(
+            name="multiplier", kind="comb", output_width=aw,
+            input_ports=(("a", ow), ("b", ow)), modes=(0,),
+            mode_labels=((0, ""),),
+            factory=lambda: make_multiplier(ow, aw), output_bus="p",
+        ),
+        ComponentSpec(
+            name="shifter", kind="comb", output_width=aw,
+            input_ports=(("data", aw), ("amt", AMT_WIDTH), ("mode", 2)),
+            modes=(0, 1, 2, 3),
+            mode_labels=((0, "00"), (1, "01"), (2, "10"), (3, "11")),
+            factory=lambda: make_shifter(aw, AMT_WIDTH, style=spec.shifter),
+        ),
+        ComponentSpec(
+            name="addsub", kind="comb", output_width=aw,
+            input_ports=(("a", aw), ("b", aw), ("sub", 1)), modes=(0, 1),
+            mode_labels=((0, "add"), (1, "sub")),
+            factory=lambda: make_addsub(aw, adder=spec.adder),
+            output_bus="result",
+        ),
+    ]
+    if spec.has_truncater:
+        specs.append(ComponentSpec(
+            name="truncater", kind="comb", output_width=aw,
+            input_ports=(("data", aw), ("en", 1)), modes=(0, 1),
+            mode_labels=((0, "pass"), (1, "trunc")),
+            factory=lambda: make_truncater(aw, frac),
+        ))
+    if spec.has_limiter:
+        specs.append(ComponentSpec(
+            name="limiter", kind="comb", output_width=ow,
+            input_ports=(("data", aw),), modes=(0,), mode_labels=((0, ""),),
+            factory=lambda: make_limiter(aw, ow, drop),
+        ))
+    specs += [
+        ComponentSpec(
+            name="muxa", kind="comb", output_width=aw,
+            input_ports=(("data", aw), ("en", 1)), modes=(0, 1),
+            mode_labels=_onoff,
+            factory=lambda: make_gated_bus(aw, invert_enable=True),
+        ),
+        ComponentSpec(
+            name="muxb", kind="comb", output_width=aw,
+            input_ports=(("data", aw), ("en", 1)), modes=(0, 1),
+            mode_labels=_onoff,
+            factory=lambda: make_gated_bus(aw, invert_enable=False),
+        ),
+        ComponentSpec(
+            name="muxg_shifter", kind="comb", output_width=aw,
+            input_ports=(("a", aw), ("b", aw), ("sel", 1)), modes=(0, 1),
+            mode_labels=((0, "A"), (1, "B")),
+            factory=lambda: make_mux2_bus(aw),
+        ),
+        ComponentSpec(
+            name="muxg_limiter", kind="comb", output_width=aw - drop,
+            input_ports=(("a", aw - drop), ("b", aw - drop), ("sel", 1)),
+            modes=(0, 1), mode_labels=((0, "A"), (1, "B")),
+            factory=lambda: make_mux2_bus(aw - drop),
+        ),
+        ComponentSpec(
+            name="mux7", kind="comb", output_width=ow,
+            input_ports=(("a", ow), ("b", ow), ("sel", 1)), modes=(0, 1),
+            mode_labels=((0, "mac"), (1, "buf")),
+            factory=lambda: make_mux2_bus(ow),
+        ),
+        ComponentSpec(
+            name="decoder", kind="comb", output_width=CONTROL_WIDTH,
+            input_ports=(("in", OPCODE_WIDTH),), modes=(0,),
+            mode_labels=((0, ""),),
+            factory=lambda: make_truth_table_logic(
+                OPCODE_WIDTH, CONTROL_WIDTH, truth_table),
+            in_metrics_table=False,
+        ),
+        ComponentSpec(
+            name="acca", kind="register", output_width=aw,
+            input_ports=(("d", aw), ("en", 1)), modes=(0,),
+            mode_labels=((0, ""),), state_key=("acc_a",),
+        ),
+        ComponentSpec(
+            name="accb", kind="register", output_width=aw,
+            input_ports=(("d", aw), ("en", 1)), modes=(0,),
+            mode_labels=((0, ""),), state_key=("acc_b",),
+        ),
+        ComponentSpec(
+            name="macreg", kind="register", output_width=ow,
+            input_ports=(("d", ow),), modes=(0,), mode_labels=((0, ""),),
+            state_key=("macreg",),
+        ),
+        ComponentSpec(
+            name="buffer", kind="register", output_width=ow,
+            input_ports=(("d", ow),), modes=(0,), mode_labels=((0, ""),),
+            state_key=("buffer",),
+        ),
+        ComponentSpec(
+            name="temp", kind="register", output_width=ow,
+            input_ports=(("d", ow),), modes=(0,), mode_labels=((0, ""),),
+            state_key=("temp",),
+        ),
+    ]
+    return tuple(specs)
+
+
+def control_word_for(spec: CoreSpec, opcode: Opcode) -> ControlWord:
+    """The control word of ``opcode`` on this family point.
+
+    Without a truncater, the decoder's truncate column is tied low — the
+    control bit exists in the word format but nothing reads it.
+    """
+    cw = control_word(opcode)
+    if not spec.has_truncater and cw.trunc:
+        cw = replace(cw, trunc=0)
+    return cw
+
+
+def decoder_truth_table_for(spec: CoreSpec) -> Dict[int, int]:
+    """Opcode value → packed control word for this family point."""
+    return {int(op): control_word_for(spec, op).pack() for op in Opcode}
+
+
+# ----------------------------------------------------------------------
+# Build context
+# ----------------------------------------------------------------------
+class CoreBuild:
+    """Cached build context for one legal :class:`CoreSpec`.
+
+    Obtain instances through :meth:`CoreBuild.get`, which validates the
+    spec and memoises the (expensive) gate-level build.  The paper spec's
+    build delegates to the historical single-core constructors so its
+    outputs stay bit-identical to the pre-family code.
+    """
+
+    def __init__(self, spec: CoreSpec):
+        spec.validate()
+        self.spec = spec
+        from repro.dsp.mac import MacParams, PAPER_MAC
+        if spec.is_paper:
+            self.mac_params = PAPER_MAC
+            self.components = paper_components.COMPONENTS
+        else:
+            self.mac_params = MacParams(
+                operand_width=spec.operand_width,
+                acc_width=spec.acc_width,
+                frac=spec.acc_frac,
+                frac_drop=spec.frac_drop,
+                amt_width=AMT_WIDTH,
+                has_truncater=spec.has_truncater,
+                has_limiter=spec.has_limiter,
+            )
+            self.components = _family_components(spec)
+        self.operand_mask = mask(spec.operand_width)
+        self.acc_mask = mask(spec.acc_width)
+        self._by_name = {c.name: c for c in self.components}
+        self._control_words: Dict[Opcode, ControlWord] = {}
+        self._netlist: Optional[Netlist] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    @lru_cache(maxsize=64)
+    def get(spec: CoreSpec) -> "CoreBuild":
+        return CoreBuild(spec)
+
+    # ------------------------------------------------------------------
+    @property
+    def drain_length(self) -> int:
+        """NOPs appended to flush the pipeline (4 on the paper core)."""
+        return max(4, self.spec.pipeline_depth) \
+            if self.spec.pipeline_depth >= 4 else 3
+
+    #: Cycle offsets of an instruction issued at cycle 0 (the metrics
+    #: engines inject/observe at these offsets).
+    @property
+    def id_cycle(self) -> int:
+        return 0 if self.spec.pipeline_depth == 3 else 1
+
+    @property
+    def ex_cycle(self) -> int:
+        return self.id_cycle + 1
+
+    @property
+    def wb_cycle(self) -> int:
+        return self.ex_cycle + 1
+
+    @property
+    def port_delay(self) -> int:
+        """Extra cycles between WB and the observable port (depth 5)."""
+        return 1 if self.spec.pipeline_depth >= 5 else 0
+
+    # ------------------------------------------------------------------
+    def control_word(self, opcode: Opcode) -> ControlWord:
+        try:
+            return self._control_words[opcode]
+        except KeyError:
+            cw = control_word_for(self.spec, opcode)
+            self._control_words[opcode] = cw
+            return cw
+
+    def decoder_truth_table(self) -> Dict[int, int]:
+        return decoder_truth_table_for(self.spec)
+
+    def component_by_name(self, name: str) -> ComponentSpec:
+        return self._by_name[name]
+
+    def all_columns(self, metrics_only: bool = True):
+        """All (component, mode) columns of this point, registry order."""
+        return [
+            (c.name, mode)
+            for c in self.components
+            if c.in_metrics_table or not metrics_only
+            for mode in c.modes
+        ]
+
+    # ------------------------------------------------------------------
+    def make_core(self, state=None, stuck_bits=None):
+        """A fresh behavioural core for this point."""
+        from repro.dsp.core import DspCore
+        if self.spec.is_paper:
+            return DspCore(state=state, stuck_bits=stuck_bits)
+        return DspCore(state=state, stuck_bits=stuck_bits, build=self)
+
+    @property
+    def netlist(self) -> Netlist:
+        """The gate-level core (cached)."""
+        if self._netlist is None:
+            from repro.dsp.gatelevel import make_gatelevel_core
+            if self.spec.is_paper:
+                self._netlist = make_gatelevel_core()
+            else:
+                self._netlist = make_gatelevel_core(
+                    name=f"dsp_core_{self.spec.label()}", spec=self.spec)
+        return self._netlist
+
+    @property
+    def area(self) -> int:
+        """Gate + flop count — the landscape's area proxy."""
+        n = self.netlist
+        return len(n.gates) + len(n.dffs)
+
+
+def paper_build() -> CoreBuild:
+    """The paper core's build context (shared instance)."""
+    return CoreBuild.get(CoreSpec.paper())

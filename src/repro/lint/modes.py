@@ -16,7 +16,18 @@ decoder or a metrics run that silently lost rows.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.dsp.components import COMPONENTS, all_columns, component_by_name
 from repro.dsp.isa import ControlWord, Opcode, control_word
@@ -56,11 +67,19 @@ def component_mode(component: str, cw: ControlWord) -> int:
 
 def static_mode_reachability(
     opcodes: Iterable[Opcode] = tuple(Opcode),
+    build: Optional[Any] = None,
 ) -> Dict[str, FrozenSet[int]]:
-    """component name -> set of modes some opcode decodes to."""
-    reachable: Dict[str, Set[int]] = {spec.name: set() for spec in COMPONENTS}
-    words = [control_word(op) for op in opcodes]
-    for spec in COMPONENTS:
+    """component name -> set of modes some opcode decodes to.
+
+    ``build`` analyses a non-paper family point: its component registry
+    and decoder (a family point without a truncater, say, never reaches
+    the "trunc" mode because the builder clears the control bit).
+    """
+    components = COMPONENTS if build is None else build.components
+    cw_fn = control_word if build is None else build.control_word
+    reachable: Dict[str, Set[int]] = {spec.name: set() for spec in components}
+    words = [cw_fn(op) for op in opcodes]
+    for spec in components:
         for cw in words:
             reachable[spec.name].add(component_mode(spec.name, cw))
     return {name: frozenset(modes) for name, modes in reachable.items()}
@@ -68,6 +87,7 @@ def static_mode_reachability(
 
 def static_unreachable_columns(
     columns: Iterable[Column] = (),
+    build: Optional[Any] = None,
 ) -> List[Column]:
     """Columns whose mode no opcode can decode to.
 
@@ -75,15 +95,21 @@ def static_unreachable_columns(
     paper core this is exactly the shifter's "10"/"11" columns — the modes
     the paper's §2.4 eliminates by hand.
     """
-    column_list = list(columns) or all_columns(metrics_only=True)
-    reachable = static_mode_reachability()
+    if build is None:
+        column_list = list(columns) or all_columns(metrics_only=True)
+    else:
+        column_list = list(columns) or build.all_columns(metrics_only=True)
+    reachable = static_mode_reachability(build=build)
     return [
         (name, mode) for name, mode in column_list
         if mode not in reachable.get(name, frozenset())
     ]
 
 
-def mode_reachability_crosscheck(table) -> Tuple[List[Column], List[Column]]:
+def mode_reachability_crosscheck(
+    table: Any,
+    build: Optional[Any] = None,
+) -> Tuple[List[Column], List[Column]]:
     """Compare static vs dynamic unreachability on one metrics table.
 
     Returns ``(dynamic_only, static_only)``:
@@ -99,7 +125,7 @@ def mode_reachability_crosscheck(table) -> Tuple[List[Column], List[Column]]:
     from repro.selftest.phase2 import unreachable_columns
 
     dynamic = set(unreachable_columns(table))
-    static = set(static_unreachable_columns(table.columns))
+    static = set(static_unreachable_columns(table.columns, build=build))
     dynamic_only = sorted(dynamic - static)
     static_only = sorted(static - dynamic)
     return dynamic_only, static_only

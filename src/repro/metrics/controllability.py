@@ -105,30 +105,42 @@ def default_variants(include_b: bool = True) -> List[InstructionVariant]:
     return variants
 
 
-def prepare_core(variant: InstructionVariant, rng: random.Random) -> DspCore:
+def prepare_core(variant: InstructionVariant, rng: random.Random,
+                 build=None) -> DspCore:
     """A core with random registers and the variant's accumulator state.
 
     Random registers model the effect of the preceding ``ld rnd`` wrapper
     instructions; the accumulator state models the randomisation sequences
-    Phase 2 inserts before 'R' rows.
+    Phase 2 inserts before 'R' rows.  ``build`` selects a non-paper family
+    point (the draws use its widths, so paper streams are unchanged).
     """
-    core = DspCore()
-    core.state.regs = [rng.randrange(256) for _ in range(N_REGISTERS)]
+    if build is None:
+        core = DspCore()
+        n_regs, reg_lim, acc_lim = N_REGISTERS, 256, 1 << ACC_WIDTH
+    else:
+        core = build.make_core()
+        n_regs = build.spec.n_registers
+        reg_lim = 1 << build.spec.operand_width
+        acc_lim = 1 << build.spec.acc_width
+    core.state.regs = [rng.randrange(reg_lim) for _ in range(n_regs)]
     if variant.acc_state == "R":
-        core.state.acc_a = rng.randrange(1 << ACC_WIDTH)
-        core.state.acc_b = rng.randrange(1 << ACC_WIDTH)
+        core.state.acc_a = rng.randrange(acc_lim)
+        core.state.acc_b = rng.randrange(acc_lim)
     return core
 
 
 def trace_variant(variant: InstructionVariant, rng: random.Random,
-                  follow: Sequence[Instruction] = ()) -> List[Dict]:
+                  follow: Sequence[Instruction] = (),
+                  build=None) -> List[Dict]:
     """Execute the variant once; returns per-cycle traces.
 
-    Cycle 0 fetches the instruction, so its ID-stage activity (decoder,
-    register reads) is in ``traces[1]`` and its EX-stage activity (MAC
-    components, MacReg/buffer/MUX7/temp) in ``traces[2]``.
+    Cycle 0 fetches the instruction, so on the paper core its ID-stage
+    activity (decoder, register reads) is in ``traces[1]`` and its
+    EX-stage activity (MAC components, MacReg/buffer/MUX7/temp) in
+    ``traces[2]``; 3-deep family cores shift each offset down by one
+    (see :func:`component_cycle`).
     """
-    core = prepare_core(variant, rng)
+    core = prepare_core(variant, rng, build)
     words = [encode(variant.instruction(rng))]
     words += [encode(i) for i in follow]
     words += [_NOP_WORD] * 4
@@ -141,7 +153,7 @@ def trace_variant(variant: InstructionVariant, rng: random.Random,
 
 
 #: Pipeline stage (cycle offset after fetch) where each component processes
-#: the measured instruction.
+#: the measured instruction (paper core offsets).
 ID_STAGE_COMPONENTS = frozenset({"decoder", "regread_a", "regread_b"})
 WB_STAGE_COMPONENTS = frozenset({"mux7"})
 ID_CYCLE = 1
@@ -149,24 +161,27 @@ EX_CYCLE = 2
 WB_CYCLE = 3
 
 
-def component_cycle(name: str) -> int:
+def component_cycle(name: str, build=None) -> int:
     """Cycle offset (after fetch) at which ``name`` sees the instruction."""
+    id_cycle = ID_CYCLE if build is None else build.id_cycle
     if name in ID_STAGE_COMPONENTS:
-        return ID_CYCLE
+        return id_cycle
     if name in WB_STAGE_COMPONENTS:
-        return WB_CYCLE
-    return EX_CYCLE
+        return id_cycle + 2
+    return id_cycle + 1
 
 
 class ControllabilityEngine:
     """Estimates C for every (component, mode) column, per variant."""
 
     def __init__(self, n_samples: int = 200, seed: int = 2004,
-                 rng_factory: Optional[RngFactory] = None):
+                 rng_factory: Optional[RngFactory] = None,
+                 build=None):
         if n_samples < 2:
             raise ConfigError("need at least 2 samples")
         self.n_samples = n_samples
         self.seed = seed
+        self.build = build
         # Injected label->Random factory; the default derives one
         # independent stream per variant from the seed, so measuring
         # any subset of rows (or resuming a campaign) replays exactly.
@@ -184,11 +199,13 @@ class ControllabilityEngine:
         )
 
         rng = self.rng_factory(variant.label)
+        components = (COMPONENTS if self.build is None
+                      else self.build.components)
         port_samples: Dict[Tuple[str, int], Dict[str, List[int]]] = {}
         for _ in range(self.n_samples):
-            traces = trace_variant(variant, rng)
-            for spec in COMPONENTS:
-                cycle = component_cycle(spec.name)
+            traces = trace_variant(variant, rng, build=self.build)
+            for spec in components:
+                cycle = component_cycle(spec.name, self.build)
                 activity = traces[cycle].get(spec.name)
                 if activity is None:
                     continue
@@ -202,7 +219,7 @@ class ControllabilityEngine:
 
         result: Dict[Tuple[str, int], float] = {}
         widths = {
-            spec.name: dict(spec.input_ports) for spec in COMPONENTS
+            spec.name: dict(spec.input_ports) for spec in components
         }
         for key, ports in port_samples.items():
             component = key[0]

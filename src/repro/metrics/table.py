@@ -143,26 +143,35 @@ def build_metrics_table(
     n_observability_good: int = 12,
     seed: int = 2004,
     columns: Optional[Sequence[Column]] = None,
+    build=None,
 ) -> MetricsTable:
     """Measure C and O for every variant and assemble the metrics table.
 
     This is the "Construct Metrics Table" step of the paper's Fig. 3 flow.
     Sample counts default to values that finish in minutes on a laptop;
-    the benchmarks raise them.
+    the benchmarks raise them.  ``build`` measures a non-paper family
+    point (a :class:`repro.dsp.family.CoreBuild`).
     """
     rows = list(variants) if variants is not None else default_variants()
-    cols = list(columns) if columns is not None else all_columns()
+    components = COMPONENTS if build is None else build.components
+    if columns is not None:
+        cols = list(columns)
+    elif build is None:
+        cols = all_columns()
+    else:
+        cols = build.all_columns()
     table = MetricsTable(
         rows=rows,
         columns=cols,
         fault_counts={
-            spec.name: component_fault_count(spec) for spec in COMPONENTS
+            spec.name: component_fault_count(spec) for spec in components
         },
     )
     c_engine = ControllabilityEngine(
-        n_samples=n_controllability_samples, seed=seed
+        n_samples=n_controllability_samples, seed=seed, build=build
     )
-    o_engine = ObservabilityEngine(n_good=n_observability_good, seed=seed + 1)
+    o_engine = ObservabilityEngine(n_good=n_observability_good, seed=seed + 1,
+                                   build=build)
     for row in rows:
         c_values = c_engine.measure(row)
         o_values = o_engine.measure(row)

@@ -99,7 +99,7 @@ class HierarchicalCampaign:
 
     def fingerprint(self) -> Dict[str, Any]:
         sim = self.simulator
-        return {
+        fp = {
             "kind": "hierarchical",
             "n_words": len(self.words),
             "n_faults": len(self._fault_map()),
@@ -108,6 +108,13 @@ class HierarchicalCampaign:
             "propagation_window": sim.propagation_window,
             "storage_fault_max_cycles": self.storage_fault_max_cycles,
         }
+        # Family points stamp the core identity; the paper core omits it
+        # so checkpoints recorded before core families existed still
+        # resume.
+        build = getattr(sim, "build", None)
+        if build is not None and not build.spec.is_paper:
+            fp["core"] = build.spec.label()
+        return fp
 
     def _fault_map(self) -> Dict[str, Any]:
         from repro.faults.hierarchical import fault_unit_id
@@ -291,26 +298,37 @@ class MetricsCampaign:
         unit_timeout: Optional[float] = None,
         runner: Optional[CampaignRunner] = None,
         jobs: Optional[int] = None,
+        build=None,
     ):
         from repro.metrics.controllability import default_variants
         from repro.dsp.components import all_columns
+        self.build = build
         self.variants = list(variants) if variants is not None \
             else default_variants()
-        self.columns = list(columns) if columns is not None \
-            else all_columns()
+        if columns is not None:
+            self.columns = list(columns)
+        elif build is None:
+            self.columns = all_columns()
+        else:
+            self.columns = build.all_columns()
         self.n_controllability_samples = n_controllability_samples
         self.n_observability_good = n_observability_good
         self.seed = seed
         self.runner = _default_runner(checkpoint, unit_timeout, runner, jobs)
 
     def fingerprint(self) -> Dict[str, Any]:
-        return {
+        fp = {
             "kind": "metrics",
             "seed": self.seed,
             "n_controllability_samples": self.n_controllability_samples,
             "n_observability_good": self.n_observability_good,
             "rows": [v.label for v in self.variants],
         }
+        # Same convention as HierarchicalCampaign: only non-paper family
+        # points stamp the core identity.
+        if self.build is not None and not self.build.spec.is_paper:
+            fp["core"] = self.build.spec.label()
+        return fp
 
     def _measure(self, variant, n_samples: int, n_good: int) -> Dict:
         from repro.metrics.controllability import ControllabilityEngine
@@ -322,10 +340,12 @@ class MetricsCampaign:
         c_values = ControllabilityEngine(
             n_samples=n_samples, seed=self.seed,
             rng_factory=rng_factory(self.seed),
+            build=self.build,
         ).measure(variant)
         o_values = ObservabilityEngine(
             n_good=n_good, seed=self.seed + 1,
             rng_factory=rng_factory(self.seed + 1),
+            build=self.build,
         ).measure(variant)
         cells = {}
         for column in self.columns:
@@ -368,12 +388,14 @@ class MetricsCampaign:
             self.units(), fingerprint=self.fingerprint(), resume=resume,
             repair=repair, max_units=max_units, force=force,
         )
+        components = COMPONENTS if self.build is None \
+            else self.build.components
         table = MetricsTable(
             rows=self.variants,
             columns=self.columns,
             fault_counts={
                 spec.name: component_fault_count(spec)
-                for spec in COMPONENTS
+                for spec in components
             },
         )
         for variant in self.variants:

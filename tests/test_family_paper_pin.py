@@ -1,0 +1,90 @@
+"""``CoreSpec.paper()`` is pinned to the pre-family core, byte for byte.
+
+The family builder's whole contract is that the paper point is not "a
+very similar core" but *the* core: same netlist hash, same measured
+metrics, same Phase 1 selection.  These tests route the existing golden
+payloads through ``build=paper_build()`` — they must match the goldens
+regenerated *before* the family layer existed, so any divergence between
+the parameterized path and the historical singletons fails loudly.
+"""
+
+import pytest
+
+from tests.test_goldens import TABLE1_PARAMS, TABLE2_PARAMS, _cell
+
+from repro.dsp.family import CoreBuild, CoreSpec, paper_build
+from repro.dsp.gatelevel import make_gatelevel_core
+from repro.dsp.isa import Opcode, control_word
+from repro.metrics.simple_metrics import build_table1
+from repro.metrics.table import build_metrics_table
+from repro.runtime.integrity import fingerprint_for_netlist
+from repro.selftest.phase1 import run_phase1
+
+#: The structural hash of the paper core's gate-level netlist at the
+#: moment the family layer landed.  If this changes, the family
+#: refactor altered the paper core — that is never an intended change.
+PAPER_NETLIST_HASH = \
+    "287a7304d18a0508c502078c50cca6a943b5b9f6bea7eb9bb7bfe9ced9949d88"
+
+
+@pytest.fixture(scope="module")
+def paper():
+    return paper_build()
+
+
+def test_paper_netlist_hash_pinned(paper):
+    assert fingerprint_for_netlist(paper.netlist) == PAPER_NETLIST_HASH
+    # ... and the build's netlist is the same object graph the historical
+    # constructor produces, not merely an equivalent one.
+    assert fingerprint_for_netlist(make_gatelevel_core()) == \
+        PAPER_NETLIST_HASH
+
+
+def test_paper_build_is_cached_singleton(paper):
+    assert CoreBuild.get(CoreSpec.paper()) is paper
+
+
+def test_paper_control_words_identical(paper):
+    for op in Opcode:
+        assert paper.control_word(op) == control_word(op), op.name
+
+
+def test_table1_matches_pre_family_golden(golden):
+    table = build_table1(**TABLE1_PARAMS)
+    payload = {
+        row: {col: _cell(cell.c, cell.o) for col, cell in cells.items()}
+        for row, cells in table.items()
+    }
+    golden("table1.json", payload)
+
+
+def test_table2_through_build_matches_pre_family_golden(golden, paper):
+    table = build_metrics_table(**TABLE2_PARAMS, build=paper)
+    payload = {}
+    for row in table.rows:
+        cells = {}
+        for column in table.columns:
+            cell = table.cell(row, column)
+            if cell is None:
+                continue
+            label = f"{column[0]}:{column[1]}"
+            cells[label] = _cell(cell.c, cell.o,
+                                 covered=table.is_covered(row, column))
+        payload[row.label] = cells
+    golden("table2.json", payload)
+
+
+def test_phase1_through_build_matches_pre_family_golden(golden, paper):
+    table = build_metrics_table(**TABLE2_PARAMS, build=paper)
+    result = run_phase1(table)
+    payload = {
+        "wrappers": [v.label for v in result.wrapper_rows],
+        "wrapper_covered": [f"{c[0]}:{c[1]}" for c in result.wrapper_covered],
+        "selections": [
+            {"variant": variant.label,
+             "columns": [f"{c[0]}:{c[1]}" for c in columns]}
+            for variant, columns in result.selections
+        ],
+        "uncovered": [f"{c[0]}:{c[1]}" for c in result.uncovered],
+    }
+    golden("phase1_selection.json", payload)
